@@ -1,0 +1,65 @@
+// Shared helpers for the figure-reproduction bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sched/policy.h"
+#include "sim/machine.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace hls::bench {
+
+// The scheduling schemes the paper plots, in its naming. "ff" (FastFlow) is
+// reported as the better of its static and dynamic work-sharing schemes,
+// exactly as the paper does.
+inline const std::vector<std::pair<std::string, policy>>& paper_schemes() {
+  static const std::vector<std::pair<std::string, policy>> s = {
+      {"hybrid", policy::hybrid},
+      {"omp_static", policy::static_part},
+      {"omp_dynamic", policy::dynamic_shared},
+      {"omp_guided", policy::guided},
+      {"vanilla", policy::dynamic_ws},
+  };
+  return s;
+}
+
+inline std::vector<std::uint32_t> worker_counts(const cli& c) {
+  std::vector<std::uint32_t> out;
+  for (auto v : c.get_int_list("workers", {1, 2, 4, 8, 16, 32})) {
+    out.push_back(static_cast<std::uint32_t>(v));
+  }
+  return out;
+}
+
+inline sim::machine_desc paper_machine() { return sim::machine_desc{}; }
+
+// Global output mode for the figure benches; set once from --csv.
+inline bool& csv_mode() {
+  static bool mode = false;
+  return mode;
+}
+
+inline void init_output(const cli& c) { csv_mode() = c.get_bool("csv", false); }
+
+inline void print_header(const std::string& title) {
+  if (csv_mode()) {
+    std::cout << "\n# " << title << "\n";
+  } else {
+    std::cout << "\n==== " << title << " ====\n";
+  }
+}
+
+// Prints a table in the selected mode.
+inline void emit(const table& t) {
+  if (csv_mode()) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+}
+
+}  // namespace hls::bench

@@ -1,0 +1,90 @@
+// Reproduces paper Figure 1: work efficiency (Ts/T1) and scalability
+// (T1/TP) of the balanced and unbalanced microbenchmarks on three working
+// set sizes, across the five scheduling schemes plus the FastFlow proxy
+// ("ff" = best of static / dynamic work sharing, as the paper reports it).
+//
+// Times are virtual nanoseconds from the discrete-event simulator of the
+// paper's 32-core 4-socket machine (see DESIGN.md for the substitution).
+#include <iostream>
+
+#include "bench_util.h"
+#include "sim/report.h"
+#include "workloads/micro.h"
+
+namespace {
+
+using namespace hls;
+
+void run_case(const char* name, bool balanced, std::uint64_t ws_bytes,
+              std::span<const std::uint32_t> workers, std::int64_t iters,
+              int outer) {
+  workloads::micro_params mp;
+  mp.iterations = iters;
+  mp.total_bytes = ws_bytes;
+  mp.balanced = balanced;
+  mp.outer_iterations = outer;
+  const auto w = workloads::micro_spec(mp);
+  const auto m = bench::paper_machine();
+
+  std::vector<std::string> header{"scheme", "Ts/T1"};
+  for (auto p : workers) header.push_back("P=" + std::to_string(p));
+  table t(std::move(header));
+
+  // Collect sweeps; synthesize the ff row afterwards.
+  sim::sweep_result stat_sw, dyn_sw;
+  for (const auto& [label, pol] : bench::paper_schemes()) {
+    const auto sw = sim::sweep_workers(m, w, pol, workers);
+    if (pol == policy::static_part) stat_sw = sw;
+    if (pol == policy::dynamic_shared) dyn_sw = sw;
+    std::vector<std::string> row{label, table::fmt(sw.work_efficiency, 3)};
+    for (const auto& pt : sw.points) {
+      row.push_back(table::fmt(pt.scalability, 2));
+    }
+    t.add_row(std::move(row));
+  }
+  // ff: pick whichever work-sharing scheme finishes the top-P point faster.
+  const bool static_wins =
+      !stat_sw.points.empty() && !dyn_sw.points.empty() &&
+      stat_sw.points.back().tp_ns <= dyn_sw.points.back().tp_ns;
+  const auto& ff = static_wins ? stat_sw : dyn_sw;
+  std::vector<std::string> row{
+      std::string("ff(") + (static_wins ? "static" : "dynamic") + ")",
+      table::fmt(ff.work_efficiency, 3)};
+  for (const auto& pt : ff.points) row.push_back(table::fmt(pt.scalability, 2));
+  t.add_row(std::move(row));
+
+  bench::print_header(std::string("Fig.1 ") + name + "  (scalability T1/TP)");
+  std::cout << "working set " << ws_bytes / 1e6 << " MB total ("
+            << ws_bytes / 4e6 << " MB/socket), N=" << iters << ", " << outer
+            << " loop instances\n";
+  hls::bench::emit(t);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const hls::cli c(argc, argv);
+  hls::bench::init_output(c);
+  const auto workers = hls::bench::worker_counts(c);
+  const std::int64_t iters = c.get_int("iterations", 2048);
+  const int outer = static_cast<int>(c.get_int("outer", 6));
+
+  struct ws_case {
+    const char* label;
+    std::uint64_t bytes;
+  };
+  const ws_case cases[] = {
+      {"under-L3 (11.90 MB/socket)", hls::workloads::kWsUnderL3},
+      {"at-L3 (15.87 MB/socket)", hls::workloads::kWsAtL3},
+      {"above-L3 (79.35 MB/socket)", hls::workloads::kWsAboveL3},
+  };
+
+  for (bool balanced : {true, false}) {
+    for (const auto& wc : cases) {
+      const std::string name =
+          std::string(balanced ? "balanced" : "unbalanced") + ", " + wc.label;
+      run_case(name.c_str(), balanced, wc.bytes, workers, iters, outer);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Reproduces paper Figure 2: the percentage of loop iterations executed by
+// the same core in consecutive parallel loops, on 32 (simulated) cores, for
+// the balanced and unbalanced microbenchmarks at the three working set
+// sizes. The paper's measured values are printed alongside for comparison.
+//
+// Pass --threaded to additionally measure affinity on the real threaded
+// runtime of this host (worker threads are oversubscribed on small hosts,
+// which perturbs the dynamic schemes but not the deterministic ones).
+#include <iostream>
+
+#include "bench_util.h"
+#include "sim/engine.h"
+#include "trace/affinity.h"
+#include "trace/loop_trace.h"
+#include "workloads/micro.h"
+
+namespace {
+
+using namespace hls;
+
+// Paper Fig. 2 reference (percent, rows: scheme x balanced?).
+double paper_value(const std::string& scheme, bool balanced) {
+  if (scheme == "hybrid") return balanced ? 99.99 : 67.33;
+  if (scheme == "vanilla") return balanced ? 3.16 : 3.19;
+  if (scheme == "omp_static") return 100.0;
+  if (scheme == "omp_dynamic") return balanced ? 10.52 : 4.23;
+  if (scheme == "omp_guided") return balanced ? 4.74 : 4.24;
+  return 0.0;
+}
+
+double threaded_affinity(rt::runtime& rt, workloads::micro_bench& mb,
+                         policy pol, int instances) {
+  trace::affinity_meter meter;
+  for (int i = 0; i < instances; ++i) {
+    trace::loop_trace tr(rt.num_workers());
+    loop_options opt;
+    opt.trace = &tr;
+    mb.run_once(rt, pol, opt);
+    meter.observe(tr.iteration_owners(0, mb.iterations()));
+  }
+  return meter.average();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cli c(argc, argv);
+  bench::init_output(c);
+  const std::int64_t iters = c.get_int("iterations", 2048);
+  const int outer = static_cast<int>(c.get_int("outer", 8));
+  const auto m = bench::paper_machine().with_workers(
+      static_cast<std::uint32_t>(c.get_int("workers", 32)));
+
+  const struct {
+    const char* label;
+    std::uint64_t bytes;
+  } cases[] = {
+      {"11.90MB", workloads::kWsUnderL3},
+      {"15.87MB", workloads::kWsAtL3},
+      {"79.35MB", workloads::kWsAboveL3},
+  };
+
+  bench::print_header("Fig.2 same-core fraction in consecutive loops (32 cores)");
+  table t({"scheme", "workload", "11.90MB", "15.87MB", "79.35MB", "paper"});
+  for (bool balanced : {true, false}) {
+    for (const auto& [label, pol] : bench::paper_schemes()) {
+      std::vector<std::string> row{label, balanced ? "balanced" : "unbalanced"};
+      for (const auto& wc : cases) {
+        workloads::micro_params mp;
+        mp.iterations = iters;
+        mp.total_bytes = wc.bytes;
+        mp.balanced = balanced;
+        mp.outer_iterations = outer;
+        const auto r = sim::simulate(m, workloads::micro_spec(mp), pol);
+        row.push_back(table::fmt_pct(r.affinity, 2));
+      }
+      row.push_back(table::fmt(paper_value(label, balanced), 2) + "%");
+      t.add_row(std::move(row));
+    }
+  }
+  hls::bench::emit(t);
+
+  if (c.get_bool("threaded", false)) {
+    bench::print_header("Fig.2 (threaded runtime on this host)");
+    const auto p =
+        static_cast<std::uint32_t>(c.get_int("threaded_workers", 4));
+    rt::runtime rt(p);
+    table tt({"scheme", "balanced", "unbalanced"});
+    for (const auto& [label, pol] : bench::paper_schemes()) {
+      workloads::micro_params bp, up;
+      bp.iterations = up.iterations = 512;
+      bp.total_bytes = up.total_bytes = 8ull << 20;
+      up.balanced = false;
+      workloads::micro_bench mb(bp), mu(up);
+      tt.add_row({label,
+                  table::fmt_pct(threaded_affinity(rt, mb, pol, 8), 2),
+                  table::fmt_pct(threaded_affinity(rt, mu, pol, 8), 2)});
+    }
+    hls::bench::emit(tt);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Reproduces paper Figure 3: work efficiency and scalability (Ts/TP) of the
+// five NAS kernels across scheduling schemes. Kernel loop structures come
+// from the real kernel implementations (the spec builders expose iteration
+// counts, per-iteration cost profiles — e.g. CG's row-nnz imbalance — and
+// footprints); timing is virtual via the discrete-event simulator.
+#include <iostream>
+
+#include "bench_util.h"
+#include "sim/report.h"
+#include "workloads/cg.h"
+#include "workloads/ep.h"
+#include "workloads/ft.h"
+#include "workloads/is.h"
+#include "workloads/mg.h"
+
+namespace {
+
+using namespace hls;
+using namespace hls::workloads::nas;
+
+void run_kernel(const char* name, const sim::workload_spec& w,
+                std::span<const std::uint32_t> workers) {
+  const auto m = bench::paper_machine();
+  std::vector<std::string> header{"scheme", "Ts/T1"};
+  for (auto p : workers) header.push_back("P=" + std::to_string(p));
+  table t(std::move(header));
+
+  for (const auto& [label, pol] : bench::paper_schemes()) {
+    const auto sw = sim::sweep_workers(m, w, pol, workers);
+    std::vector<std::string> row{label, table::fmt(sw.work_efficiency, 3)};
+    for (const auto& pt : sw.points) row.push_back(table::fmt(pt.speedup, 2));
+    t.add_row(std::move(row));
+  }
+  bench::print_header(std::string("Fig.3 NAS ") + name +
+                      "  (speedup Ts/TP)");
+  hls::bench::emit(t);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cli c(argc, argv);
+  bench::init_output(c);
+  const auto workers = bench::worker_counts(c);
+
+  {
+    ep_params p;
+    p.m = static_cast<int>(c.get_int("ep_m", 20));
+    run_kernel("ep", ep_spec(p), workers);
+  }
+  {
+    is_params p;
+    p.total_keys = c.get_int("is_keys", 1 << 20);
+    run_kernel("is", is_spec(p), workers);
+  }
+  {
+    cg_params p;
+    p.n = c.get_int("cg_n", 8192);
+    p.outer_iterations = 2;  // 2 x 25 CG steps of 3 loops each
+    run_kernel("cg", cg_spec(p), workers);
+  }
+  {
+    mg_params p;
+    p.log2_size = static_cast<int>(c.get_int("mg_log2", 7));  // 128^3
+    run_kernel("mg", mg_spec(p), workers);
+  }
+  {
+    ft_params p;
+    p.log2_nx = p.log2_ny = p.log2_nz =
+        static_cast<int>(c.get_int("ft_log2", 6));  // 64^3
+    run_kernel("ft", ft_spec(p), workers);
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Reproduces paper Figure 5: access latency serviced by each level of the
+// memory hierarchy on the evaluation machine. These are the model inputs of
+// the simulators (the paper measured them with the Intel Memory Latency
+// Checker; ranges are reported as their middle value, as the paper uses).
+#include <iostream>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using hls::table;
+  const hls::cli c(argc, argv);
+  hls::bench::init_output(c);
+  const auto m = hls::bench::paper_machine();
+
+  hls::bench::print_header("Fig.5 memory access latency by service level (ns)");
+  table t({"level", "latency", "paper"});
+  t.add_row({"L1", table::fmt(m.lat_l1, 1), "4.1"});
+  t.add_row({"L2", table::fmt(m.lat_l2, 1), "12.2"});
+  t.add_row({"L3", table::fmt(m.lat_l3, 1), "41.4"});
+  t.add_row({"local DRAM", table::fmt(m.lat_dram_local, 1), "246.7"});
+  t.add_row({"remote L3", table::fmt(m.lat_remote_l3, 2),
+             "381.5 - 648.8 (middle)"});
+  t.add_row({"remote DRAM", table::fmt(m.lat_dram_remote, 2),
+             "643.2 - 650.9 (middle)"});
+  hls::bench::emit(t);
+
+  std::cout << "\nCache geometry: L1 " << m.l1_bytes / 1024 << " KB, L2 "
+            << m.l2_bytes / 1024 << " KB per core; L3 "
+            << (m.l3_bytes >> 20) << " MB per socket; " << m.total_cores
+            << " cores on " << m.sockets << " sockets; line "
+            << m.line_bytes << " B.\n";
+  std::cout << "Long-latency levels are divided by an MLP factor of "
+            << m.mlp_long
+            << " when converted to throughput cost in the DES\n(inferred "
+               "latency in Fig.4 uses the raw values, as the paper does).\n";
+  return 0;
+}

@@ -1,0 +1,126 @@
+// A3: microbenchmarks of the threaded runtime's primitives using
+// google-benchmark: deque push/pop/steal, partition claims, the claim loop,
+// and whole parallel_for dispatch under each policy. These are real
+// wall-clock numbers on the host (1 iteration of loop body = 1 ns-scale op),
+// quantifying the "synchronization / parallel overhead" axis the paper's
+// Section I discusses.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "core/claim.h"
+#include "core/partition_set.h"
+#include "runtime/deque.h"
+#include "runtime/task.h"
+#include "runtime/task_pool.h"
+#include "sched/loop.h"
+
+namespace {
+
+using namespace hls;
+
+class nop_task final : public rt::task {
+ public:
+  void execute(rt::worker&) override {}
+};
+
+void BM_DequePushPop(benchmark::State& state) {
+  rt::ws_deque d;
+  nop_task t;
+  for (auto _ : state) {
+    d.push(&t);
+    benchmark::DoNotOptimize(d.pop());
+  }
+}
+BENCHMARK(BM_DequePushPop);
+
+void BM_DequePushSteal(benchmark::State& state) {
+  rt::ws_deque d;
+  nop_task t;
+  for (auto _ : state) {
+    d.push(&t);
+    benchmark::DoNotOptimize(d.steal());
+  }
+}
+BENCHMARK(BM_DequePushSteal);
+
+void BM_TaskPoolAllocFree(benchmark::State& state) {
+  rt::block_pool pool;
+  for (auto _ : state) {
+    void* p = pool.allocate();
+    benchmark::DoNotOptimize(p);
+    rt::block_pool::deallocate(p);
+  }
+}
+BENCHMARK(BM_TaskPoolAllocFree);
+
+void BM_HeapAllocFree(benchmark::State& state) {
+  for (auto _ : state) {
+    void* p = ::operator new(rt::block_pool::kUsableBytes);
+    benchmark::DoNotOptimize(p);
+    ::operator delete(p);
+  }
+}
+BENCHMARK(BM_HeapAllocFree);
+
+void BM_PartitionClaim(benchmark::State& state) {
+  const auto parts = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::partition_set set(0, 1 << 20, parts);
+    state.ResumeTiming();
+    for (std::uint64_t r = 0; r < set.count(); ++r) {
+      benchmark::DoNotOptimize(set.try_claim(r));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * parts);
+}
+BENCHMARK(BM_PartitionClaim)->Arg(8)->Arg(32)->Arg(256);
+
+void BM_ClaimLoopSolo(benchmark::State& state) {
+  const auto parts = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::partition_set set(0, 1 << 20, static_cast<std::uint32_t>(parts));
+    state.ResumeTiming();
+    auto flags = set.flags();
+    core::run_claim_loop(0, set.count(), flags,
+                         [](std::uint64_t, std::uint64_t) {});
+  }
+}
+BENCHMARK(BM_ClaimLoopSolo)->Arg(32)->Arg(1024);
+
+template <policy Pol>
+void BM_ParallelForDispatch(benchmark::State& state) {
+  // Constructed per run (outside the timed loop): a thread-local binding
+  // ties the runtime to this thread, so runtimes must not overlap.
+  rt::runtime rt(static_cast<std::uint32_t>(state.range(0)));
+  const std::int64_t n = state.range(1);
+  std::atomic<std::int64_t> sink{0};
+  for (auto _ : state) {
+    for_each(rt, 0, n, Pol,
+             [&](std::int64_t i) { benchmark::DoNotOptimize(i); });
+    benchmark::ClobberMemory();
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelForDispatch<policy::dynamic_ws>)
+    ->Args({2, 1 << 12})
+    ->Name("BM_ParallelFor/dynamic_ws");
+BENCHMARK(BM_ParallelForDispatch<policy::hybrid>)
+    ->Args({2, 1 << 12})
+    ->Name("BM_ParallelFor/hybrid");
+BENCHMARK(BM_ParallelForDispatch<policy::static_part>)
+    ->Args({2, 1 << 12})
+    ->Name("BM_ParallelFor/static");
+BENCHMARK(BM_ParallelForDispatch<policy::dynamic_shared>)
+    ->Args({2, 1 << 12})
+    ->Name("BM_ParallelFor/dynamic_shared");
+BENCHMARK(BM_ParallelForDispatch<policy::guided>)
+    ->Args({2, 1 << 12})
+    ->Name("BM_ParallelFor/guided");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Unbalanced-workload example: adaptive numerical integration where
+// per-interval cost varies by orders of magnitude — the scenario where
+// static partitioning collapses and the hybrid scheme's dynamic load
+// balancing pays off without giving up all locality.
+//
+//   build/examples/adaptive_quadrature [--workers=4] [--intervals=2048]
+//
+// Integrates f(x) = sin(1/x) on (eps, 1]: intervals near zero need far more
+// adaptive refinement than those near one.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+
+#include "sched/loop.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace {
+
+double f(double x) { return std::sin(1.0 / x); }
+
+// Adaptive Simpson on [a, b]; recursion depth tracks the work imbalance.
+double adaptive_simpson(double a, double b, double fa, double fb, double fm,
+                        double eps, int depth, std::int64_t* evals) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  *evals += 2;
+  const double h = b - a;
+  const double whole = h / 6.0 * (fa + 4 * fm + fb);
+  const double left = h / 12.0 * (fa + 4 * flm + fm);
+  const double right = h / 12.0 * (fm + 4 * frm + fb);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::fabs(delta) <= 15.0 * eps) {
+    return left + right + delta / 15.0;
+  }
+  return adaptive_simpson(a, m, fa, fm, flm, eps / 2, depth - 1, evals) +
+         adaptive_simpson(m, b, fm, fb, frm, eps / 2, depth - 1, evals);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const hls::cli cli(argc, argv);
+  const auto workers = static_cast<std::uint32_t>(cli.get_int("workers", 4));
+  const std::int64_t intervals = cli.get_int("intervals", 2048);
+  const double lo_bound = 1e-4, hi_bound = 1.0;
+
+  hls::rt::runtime rt(workers);
+  hls::table t({"policy", "integral", "f-evals", "wall ms"});
+
+  for (hls::policy pol : hls::kAllParallelPolicies) {
+    double total = 0.0;
+    std::int64_t evals = 0;
+    std::mutex mu;
+    const auto t0 = std::chrono::steady_clock::now();
+    hls::for_each(rt, 0, intervals, pol, [&](std::int64_t i) {
+      // Geometric interval spacing: early intervals hug the singular end.
+      const double r = std::pow(hi_bound / lo_bound,
+                                1.0 / static_cast<double>(intervals));
+      const double a = lo_bound * std::pow(r, static_cast<double>(i));
+      const double b = a * r;
+      std::int64_t local_evals = 3;
+      const double val = adaptive_simpson(a, b, f(a), f(b), f(0.5 * (a + b)),
+                                          1e-10, 40, &local_evals);
+      std::lock_guard<std::mutex> lk(mu);
+      total += val;
+      evals += local_evals;
+    });
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    t.add_row({hls::policy_name(pol), hls::table::fmt(total, 9),
+               std::to_string(evals), hls::table::fmt(ms, 1)});
+  }
+
+  std::printf("Integral of sin(1/x) over (%.0e, %g], %lld intervals, %u "
+              "workers\n",
+              lo_bound, hi_bound, static_cast<long long>(intervals), workers);
+  t.print(std::cout);
+  std::printf("\nReference: the integral converges to ~0.5041 on this "
+              "domain.\nEvery policy computes the identical result; wall "
+              "times on a multicore\nhost separate the load balancers from "
+              "strict static partitioning.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Runs any of the five NAS kernels under any scheduling policy and prints
+// its self-verification — the repo's equivalent of the NPB binaries.
+//
+//   build/examples/nas_driver ep --policy=hybrid --workers=4
+//   build/examples/nas_driver cg --policy=vanilla --cg_n=2048
+//   build/examples/nas_driver all --class=S
+#include <cstdio>
+#include <string>
+
+#include "util/cli.h"
+#include "workloads/cg.h"
+#include "workloads/ep.h"
+#include "workloads/ft.h"
+#include "workloads/is.h"
+#include "workloads/mg.h"
+#include "workloads/nas_classes.h"
+
+namespace {
+
+using namespace hls;
+using namespace hls::workloads::nas;
+
+int report(const char* name, const kernel_result& kr) {
+  std::printf("%-3s %-9s checksum=%-18.10g %s\n", name,
+              kr.verified ? "VERIFIED" : "FAILED", kr.checksum,
+              kr.detail.c_str());
+  return kr.verified ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cli c(argc, argv);
+  const std::string which =
+      c.positional().empty() ? "all" : c.positional().front();
+  const auto pol =
+      policy_from_name(c.get("policy", "hybrid")).value_or(policy::hybrid);
+  rt::runtime rt(static_cast<std::uint32_t>(c.get_int("workers", 4)));
+  // NPB problem class; individual --ep_m / --is_keys / --cg_n / --mg_log2 /
+  // --ft_log2 flags override the class preset.
+  const npb_class cls =
+      npb_class_from_name(c.get("class", "T")).value_or(npb_class::T);
+
+  int rc = 0;
+  if (which == "ep" || which == "all") {
+    ep_params p = ep_class(cls);
+    p.m = static_cast<int>(c.get_int("ep_m", p.m));
+    rc |= report("ep", ep_verify(ep_run(rt, p, pol), p));
+  }
+  if (which == "is" || which == "all") {
+    is_params p = is_class(cls);
+    p.total_keys = c.get_int("is_keys", p.total_keys);
+    is_bench b(p);
+    rc |= report("is", b.run(rt, pol));
+  }
+  if (which == "cg" || which == "all") {
+    cg_params p = cg_class(cls);
+    p.n = c.get_int("cg_n", p.n);
+    cg_bench b(p);
+    rc |= report("cg", b.run(rt, pol));
+  }
+  if (which == "mg" || which == "all") {
+    mg_params p = mg_class(cls);
+    p.log2_size = static_cast<int>(c.get_int("mg_log2", p.log2_size));
+    mg_bench b(p);
+    rc |= report("mg", b.run(rt, pol));
+  }
+  if (which == "ft" || which == "all") {
+    ft_params p = ft_class(cls);
+    p.log2_nx = p.log2_ny = p.log2_nz =
+        static_cast<int>(c.get_int("ft_log2", p.log2_nx));
+    ft_bench b(p);
+    rc |= report("ft", b.run(rt, pol));
+  }
+  return rc;
+}

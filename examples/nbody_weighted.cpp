@@ -1,0 +1,133 @@
+// N-body example: a triangular all-pairs force loop — the classic
+// structurally unbalanced parallel loop (iteration i does n-1-i pair
+// interactions) — run as an iterative application. Demonstrates the
+// weighted hybrid extension (paper Section VI): annotating the loop with
+// its known weight profile lets the hybrid scheme earmark weight-balanced
+// partitions, keeping both load balance and locality without any stealing.
+//
+//   build/examples/nbody_weighted [--workers=4] [--bodies=1024] [--steps=8]
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "sched/loop.h"
+#include "trace/affinity.h"
+#include "trace/loop_trace.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace {
+
+struct body {
+  double x, y, z;
+  double vx = 0, vy = 0, vz = 0;
+  double m = 1.0;
+};
+
+std::vector<body> make_bodies(std::int64_t n) {
+  std::vector<body> bodies(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    auto& b = bodies[static_cast<std::size_t>(i)];
+    b.x = std::cos(0.1 * static_cast<double>(i)) * (1.0 + 0.01 * i);
+    b.y = std::sin(0.1 * static_cast<double>(i)) * (1.0 + 0.01 * i);
+    b.z = 0.001 * static_cast<double>(i % 97);
+  }
+  return bodies;
+}
+
+// One triangular force pass + integration. Forces on body i from bodies
+// j > i only (each pair once); per-iteration work = n-1-i interactions.
+double step(hls::rt::runtime& rt, std::vector<body>& bodies, hls::policy pol,
+            const hls::loop_options& opt, hls::trace::loop_trace* tr) {
+  const auto n = static_cast<std::int64_t>(bodies.size());
+  std::vector<double> ax(bodies.size(), 0.0), ay(bodies.size(), 0.0),
+      az(bodies.size(), 0.0);
+  hls::loop_options o = opt;
+  o.trace = tr;
+  hls::for_each(
+      rt, 0, n, pol,
+      [&](std::int64_t i) {
+        const body& bi = bodies[static_cast<std::size_t>(i)];
+        double fx = 0, fy = 0, fz = 0;
+        for (std::int64_t j = i + 1; j < n; ++j) {
+          const body& bj = bodies[static_cast<std::size_t>(j)];
+          const double dx = bj.x - bi.x, dy = bj.y - bi.y, dz = bj.z - bi.z;
+          const double r2 = dx * dx + dy * dy + dz * dz + 1e-6;
+          const double inv = 1.0 / (r2 * std::sqrt(r2));
+          fx += dx * inv;
+          fy += dy * inv;
+          fz += dz * inv;
+        }
+        ax[static_cast<std::size_t>(i)] = fx;
+        ay[static_cast<std::size_t>(i)] = fy;
+        az[static_cast<std::size_t>(i)] = fz;
+      },
+      o);
+  double energy_proxy = 0.0;
+  constexpr double kDt = 1e-4;
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    bodies[i].vx += kDt * ax[i];
+    bodies[i].vy += kDt * ay[i];
+    bodies[i].vz += kDt * az[i];
+    bodies[i].x += kDt * bodies[i].vx;
+    bodies[i].y += kDt * bodies[i].vy;
+    bodies[i].z += kDt * bodies[i].vz;
+    energy_proxy += bodies[i].vx * bodies[i].vx +
+                    bodies[i].vy * bodies[i].vy + bodies[i].vz * bodies[i].vz;
+  }
+  return energy_proxy;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const hls::cli cli(argc, argv);
+  const auto workers = static_cast<std::uint32_t>(cli.get_int("workers", 4));
+  const std::int64_t n = cli.get_int("bodies", 1024);
+  const int steps = static_cast<int>(cli.get_int("steps", 8));
+
+  hls::rt::runtime rt(workers);
+  hls::table t({"configuration", "final KE proxy", "affinity"});
+
+  struct cfg {
+    const char* name;
+    hls::policy pol;
+    bool weighted;
+  };
+  for (const cfg& c : {cfg{"static", hls::policy::static_part, false},
+                       cfg{"hybrid (unweighted)", hls::policy::hybrid, false},
+                       cfg{"hybrid (weighted)", hls::policy::hybrid, true},
+                       cfg{"vanilla work stealing", hls::policy::dynamic_ws,
+                           false}}) {
+    auto bodies = make_bodies(n);
+    hls::loop_options opt;
+    if (c.weighted) {
+      // The triangular profile is known statically: weight(i) = n-1-i.
+      opt.iteration_weight = [n](std::int64_t i) {
+        return static_cast<double>(n - 1 - i);
+      };
+    }
+    hls::trace::affinity_meter meter;
+    double ke = 0.0;
+    for (int s = 0; s < steps; ++s) {
+      hls::trace::loop_trace tr(rt.num_workers());
+      ke = step(rt, bodies, c.pol, opt, &tr);
+      meter.observe(tr.iteration_owners(0, n));
+    }
+    t.add_row({c.name, hls::table::fmt(ke, 9),
+               hls::table::fmt_pct(meter.average(), 1)});
+  }
+
+  std::printf("all-pairs n-body, %lld bodies, %d steps, %u workers\n",
+              static_cast<long long>(n), steps, workers);
+  t.print(std::cout);
+  std::printf(
+      "\nThe physics is identical everywhere. The weighted hybrid splits the\n"
+      "triangular loop so earmarked partitions carry equal pair counts:\n"
+      "balanced without stealing, affine across time steps. (On a host with\n"
+      "fewer physical cores than workers the OS serializes workers and the\n"
+      "affinity column becomes timing-noise; the 32-core behaviour is\n"
+      "validated deterministically in tests/weighted_split_test.cpp.)\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Example of the simulator API: describe your own iterative workload as a
+// workload_spec and sweep it across schedulers and worker counts on the
+// modelled 32-core NUMA machine — useful for predicting which scheduling
+// policy suits a workload before writing any parallel code.
+//
+//   build/examples/simulate_machine [--n=4096] [--skew=3.0] [--mb=64]
+//
+// The workload: one parallel loop repeated 8 times over the same data,
+// per-iteration cost following a power-law skew you choose.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "sim/report.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace hls;
+  const cli c(argc, argv);
+  const std::int64_t n = c.get_int("n", 4096);
+  const double skew = c.get_double("skew", 3.0);
+  const std::uint64_t total_bytes =
+      static_cast<std::uint64_t>(c.get_int("mb", 64)) << 20;
+
+  sim::workload_spec w;
+  w.name = "custom";
+  w.outer_iterations = 8;
+  w.total_bytes = total_bytes;
+  w.region_count = n;
+
+  sim::loop_spec ls;
+  ls.n = n;
+  const std::uint64_t bytes_per = total_bytes / static_cast<std::uint64_t>(n);
+  ls.bytes = [bytes_per](std::int64_t) { return bytes_per; };
+  ls.cpu_ns = [n, skew](std::int64_t i) {
+    // Power-law compute skew: iteration n-1 costs (n)^0 .. skew decades.
+    const double x = static_cast<double>(i + 1) / static_cast<double>(n);
+    return 200.0 * std::pow(x, skew) * skew + 50.0;
+  };
+  w.loops.push_back(std::move(ls));
+
+  const sim::machine_desc m;  // the paper's 32-core 4-socket machine
+  const std::vector<std::uint32_t> workers{1, 2, 4, 8, 16, 32};
+
+  table t({"policy", "Ts/T1", "P=1", "P=2", "P=4", "P=8", "P=16", "P=32",
+           "affinity@32"});
+  for (policy pol : kAllParallelPolicies) {
+    const auto sw = sim::sweep_workers(m, w, pol, workers);
+    std::vector<std::string> row{policy_name(pol),
+                                 table::fmt(sw.work_efficiency, 3)};
+    for (const auto& pt : sw.points) row.push_back(table::fmt(pt.speedup, 2));
+    row.push_back(table::fmt_pct(sw.points.back().affinity, 1));
+    t.add_row(std::move(row));
+  }
+
+  std::printf("custom workload: n=%lld, %.0f MB, cost skew=%.1f\n",
+              static_cast<long long>(n), total_bytes / 1e6, skew);
+  t.print(std::cout);
+  std::printf("\nSpeedup = Ts/TP in simulated time. Try --skew=0 (balanced)\n"
+              "vs --skew=6 (one hot tail) and watch static collapse while\n"
+              "hybrid keeps both speedup and affinity.\n");
+  return 0;
+}

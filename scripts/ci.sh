@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full verification pipeline: release build + tests + benches, then a
+# ThreadSanitizer build of the concurrency suites.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] && "$b"
+done
+
+for e in quickstart heat_stencil adaptive_quadrature simulate_machine \
+         nbody_weighted; do
+  "build/examples/$e" > /dev/null
+done
+build/examples/nas_driver all
+
+cmake -B build-tsan -G Ninja -DHLS_SANITIZE=thread
+cmake --build build-tsan
+for t in deque_test runtime_test parallel_for_test hybrid_loop_test \
+         task_pool_test task_group_test stress_test reduce_test \
+         sched_features_test micro_workload_test; do
+  echo "== TSAN $t"
+  "build-tsan/tests/$t" --gtest_brief=1
+done
+echo "CI OK"

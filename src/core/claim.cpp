@@ -1,0 +1,23 @@
+#include "core/claim.h"
+
+#include "core/partition_set.h"
+
+namespace hls::core {
+
+// Compile-time sanity checks on the pure claim arithmetic; the behavioural
+// tests live in tests/core.
+static_assert(claim_target(0, 5) == 5, "index 0 maps to designated partition");
+static_assert(claim_target(claim_target(7, 3), 3) == 7, "XOR is involutive");
+static_assert(advance_on_failure(1) == 2);
+static_assert(advance_on_failure(2) == 4);
+static_assert(advance_on_failure(3) == 4);
+static_assert(advance_on_failure(6) == 8);
+
+// Explicitly instantiate the claim loop against the concurrent partition set
+// so that template breakage is caught when this library builds, not first in
+// a downstream target.
+template claim_stats run_claim_loop<partition_set::flags_adapter>(
+    std::uint32_t, std::uint64_t, partition_set::flags_adapter&,
+    void (*&&)(std::uint64_t, std::uint64_t));
+
+}  // namespace hls::core

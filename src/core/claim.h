@@ -1,0 +1,110 @@
+// The hybrid loop claiming heuristic (paper Algorithms 2 and 3).
+//
+// A hybrid loop divides the iteration space into R = 2^k partitions.
+// A worker w entering the loop walks a worker-specific *claim sequence*:
+// index i starts at 0 and maps to partition r = i XOR w. A claim succeeds
+// iff the worker is the first to set the partition's flag (fetch_or).
+//
+//   * successful claim   -> execute partition r, then i <- i + 1
+//   * failed claim, i==0 -> leave the loop immediately (Alg. 3 line 14)
+//   * failed claim, i>0  -> i <- i + (i & -i)   (skip the claimed subtree)
+//
+// The logic is expressed over an abstract flag set so that the exact same
+// code drives the threaded runtime (atomic flags), the discrete-event
+// simulator (plain flags), and the exhaustive correctness tests (scripted
+// adversarial flag states). This file is the paper's core contribution.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "util/bits.h"
+
+namespace hls::core {
+
+// Flag-set abstraction: test_and_set(r) atomically sets partition r's
+// claimed flag and returns its previous value (true = already claimed).
+template <typename F>
+concept claim_flags = requires(F f, std::uint64_t r) {
+  { f.test_and_set(r) } -> std::convertible_to<bool>;
+};
+
+// Outcome of one worker's pass through the claim loop.
+struct claim_stats {
+  std::uint64_t successes = 0;        // partitions claimed by this worker
+  std::uint64_t failures = 0;         // total unsuccessful claims
+  std::uint64_t max_consec_failures = 0;  // Lemma 4 bounds this by lg R
+  bool exited_on_first = false;       // designated partition was taken
+};
+
+// Maps claim-sequence index i of worker w to the partition it targets
+// (Algorithm 2 line 4). XOR is its own inverse, so this is a bijection
+// between indices and partitions for every fixed w.
+constexpr std::uint64_t claim_target(std::uint64_t i, std::uint32_t w) noexcept {
+  return i ^ static_cast<std::uint64_t>(w);
+}
+
+// Advances the claim index after a failed claim (Algorithm 3 line 20).
+constexpr std::uint64_t advance_on_failure(std::uint64_t i) noexcept {
+  return i + lsb(i);
+}
+
+// Runs the claim loop of DoHybridLoop (Algorithm 3) for worker w over R
+// partitions. R must be a power of two and w < R. For every successful
+// claim, invokes on_claim(partition, index); the callback runs the
+// partition's iterations before the next claim is attempted, exactly as the
+// paper's continuation-stealing execution does.
+template <claim_flags Flags, typename OnClaim>
+claim_stats run_claim_loop(std::uint32_t w, std::uint64_t R, Flags& flags,
+                           OnClaim&& on_claim) {
+  claim_stats st;
+  std::uint64_t consec = 0;
+  std::uint64_t i = 0;
+
+  // First claim: the worker's designated partition r = 0 XOR w = w.
+  if (flags.test_and_set(claim_target(i, w))) {
+    st.failures = 1;
+    st.max_consec_failures = 1;
+    st.exited_on_first = true;
+    return st;  // Alg. 3 line 14: revert to ordinary work stealing.
+  }
+  ++st.successes;
+  on_claim(claim_target(i, w), i);
+  i += 1;
+
+  while (i < R) {
+    if (!flags.test_and_set(claim_target(i, w))) {
+      ++st.successes;
+      consec = 0;
+      on_claim(claim_target(i, w), i);
+      i += 1;
+    } else {
+      ++st.failures;
+      ++consec;
+      if (consec > st.max_consec_failures) st.max_consec_failures = consec;
+      i = advance_on_failure(i);
+    }
+  }
+  return st;
+}
+
+// Enumerates the full claim sequence of worker w for a given pattern of
+// claim outcomes without executing anything. Used by the tests that verify
+// Lemma 4 and by the ablation benches. `outcome(i)` returns whether the
+// claim at index i would succeed.
+template <typename Outcome>
+std::uint64_t enumerate_claim_sequence(std::uint32_t w, std::uint64_t R,
+                                       Outcome&& outcome,
+                                       claim_stats* stats = nullptr) {
+  claim_stats local;
+  struct scripted_flags {
+    Outcome& oc;
+    std::uint32_t w;
+    bool test_and_set(std::uint64_t r) { return !oc(r ^ w); }
+  } flags{outcome, w};
+  local = run_claim_loop(w, R, flags, [](std::uint64_t, std::uint64_t) {});
+  if (stats != nullptr) *stats = local;
+  return local.successes;
+}
+
+}  // namespace hls::core

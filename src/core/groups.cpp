@@ -1,0 +1,36 @@
+#include "core/groups.h"
+
+namespace hls::core {
+
+std::vector<std::uint64_t> indices_of(const index_group& g) {
+  std::vector<std::uint64_t> out;
+  out.reserve(g.size());
+  for (std::uint64_t i = g.first(); i < g.first() + g.size(); ++i) {
+    out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> partitions_of(std::uint32_t w,
+                                         const index_group& g) {
+  std::vector<std::uint64_t> out;
+  out.reserve(g.size());
+  for (std::uint64_t i : indices_of(g)) out.push_back(i ^ w);
+  return out;
+}
+
+index_group parent(const index_group& g) noexcept {
+  return index_group{g.x / 2, g.n + 1};
+}
+
+std::pair<index_group, index_group> children(const index_group& g) {
+  return {index_group{2 * g.x, g.n - 1}, index_group{2 * g.x + 1, g.n - 1}};
+}
+
+index_group group_of_partition(std::uint32_t w, std::uint64_t r,
+                               std::uint32_t n) noexcept {
+  const std::uint64_t i = r ^ w;
+  return index_group{i >> n, n};
+}
+
+}  // namespace hls::core

@@ -1,0 +1,44 @@
+// Index groups and partition groups from the paper's Lemma 2 proof.
+//
+// For R = 2^k partitions, the level-n index group I(x, n) is the set of 2^n
+// consecutive indices {x*2^n, ..., x*2^n + 2^n - 1}; the partition group
+// G(w, x, n) = w XOR I(x, n). The correctness proof (every partition claimed)
+// rests on structural identities of these sets, which the test suite checks
+// directly against this implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hls::core {
+
+struct index_group {
+  std::uint64_t x = 0;  // group number within its level
+  std::uint32_t n = 0;  // level
+
+  std::uint64_t first() const noexcept { return x << n; }
+  std::uint64_t size() const noexcept { return std::uint64_t{1} << n; }
+  bool contains(std::uint64_t i) const noexcept {
+    return (i >> n) == x;
+  }
+};
+
+// All indices of I(x, n), in order.
+std::vector<std::uint64_t> indices_of(const index_group& g);
+
+// The partition group G(w, x, n) = w XOR I(x, n), in index order.
+std::vector<std::uint64_t> partitions_of(std::uint32_t w, const index_group& g);
+
+// The level-(n+1) parent group containing I(x, n).
+index_group parent(const index_group& g) noexcept;
+
+// The two level-(n-1) children I(2x, n-1) and I(2x+1, n-1); n must be > 0.
+std::pair<index_group, index_group> children(const index_group& g);
+
+// The level-n index group of worker w that contains partition r, i.e. the
+// group I(x, n) with (r XOR w) in I(x, n). Used by the Lemma 2 test to
+// locate G(w', x', n-1) for the claiming worker w'.
+index_group group_of_partition(std::uint32_t w, std::uint64_t r,
+                               std::uint32_t n) noexcept;
+
+}  // namespace hls::core

@@ -1,0 +1,62 @@
+#include "core/partition_set.h"
+
+#include "core/weighted_split.h"
+
+namespace hls::core {
+
+partition_set::partition_set(std::int64_t begin, std::int64_t end,
+                             std::uint32_t num_partitions)
+    : begin_(begin),
+      end_(end < begin ? begin : end),
+      r_(next_pow2(num_partitions == 0 ? 1 : num_partitions)),
+      lg_r_(ilog2(r_)),
+      base_size_((end_ - begin_) / static_cast<std::int64_t>(r_)),
+      remainder_((end_ - begin_) % static_cast<std::int64_t>(r_)),
+      claimed_(new padded<std::atomic<std::uint8_t>>[r_]) {
+  for (std::uint64_t r = 0; r < r_; ++r) {
+    claimed_[r].value.store(0, std::memory_order_relaxed);
+  }
+}
+
+partition_set::partition_set(
+    std::int64_t begin, std::int64_t end, std::uint32_t num_partitions,
+    const std::function<double(std::int64_t)>& weight)
+    : partition_set(begin, end, num_partitions) {
+  weighted_bounds_ = weighted_boundaries(begin_, end_, r_, weight);
+}
+
+iter_range partition_set::range(std::uint64_t r) const noexcept {
+  if (!weighted_bounds_.empty()) {
+    return {weighted_bounds_[r], weighted_bounds_[r + 1]};
+  }
+  const auto ri = static_cast<std::int64_t>(r);
+  // Partitions [0, remainder) carry base_size_+1 iterations.
+  const std::int64_t extra = ri < remainder_ ? ri : remainder_;
+  const std::int64_t lo = begin_ + ri * base_size_ + extra;
+  const std::int64_t len = base_size_ + (ri < remainder_ ? 1 : 0);
+  return {lo, lo + len};
+}
+
+bool partition_set::try_claim(std::uint64_t r) noexcept {
+  const std::uint8_t prev =
+      claimed_[r].value.fetch_or(1, std::memory_order_acq_rel);
+  if (prev == 0) {
+    claimed_count_.fetch_add(1, std::memory_order_acq_rel);
+    return true;
+  }
+  return false;
+}
+
+bool partition_set::is_claimed(std::uint64_t r) const noexcept {
+  return claimed_[r].value.load(std::memory_order_acquire) != 0;
+}
+
+std::uint64_t partition_set::claimed_count() const noexcept {
+  return claimed_count_.load(std::memory_order_acquire);
+}
+
+bool partition_set::all_claimed() const noexcept {
+  return claimed_count() == r_;
+}
+
+}  // namespace hls::core

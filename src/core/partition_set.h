@@ -1,0 +1,85 @@
+// Concurrent partition bookkeeping for a hybrid loop (the structure `A`
+// initialized by Algorithm 1 line 1).
+//
+// Holds one claimed-flag per partition, padded to a cache line each so that
+// concurrent fetch_or operations from different workers never contend on a
+// line, plus the arithmetic that maps partitions to iteration sub-ranges.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/cacheline.h"
+
+namespace hls::core {
+
+struct iter_range {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;  // exclusive
+  std::int64_t size() const noexcept { return end - begin; }
+  bool empty() const noexcept { return begin >= end; }
+};
+
+class partition_set {
+ public:
+  // Divides [begin, end) into next_pow2(max(num_partitions, 1)) equal-sized
+  // partitions. `num_partitions` is normally the worker count P; when P is
+  // not a power of two the set is rounded up and the extra partitions are
+  // unassociated with any worker (paper Section III).
+  partition_set(std::int64_t begin, std::int64_t end,
+                std::uint32_t num_partitions);
+
+  // Weighted variant (paper Section VI extension): partition boundaries
+  // equalize the per-iteration weight sums instead of iteration counts, so
+  // an annotated unbalanced loop starts from balanced earmarked partitions.
+  // The claim heuristic is unchanged.
+  partition_set(std::int64_t begin, std::int64_t end,
+                std::uint32_t num_partitions,
+                const std::function<double(std::int64_t)>& weight);
+
+  std::uint64_t count() const noexcept { return r_; }            // R
+  std::uint64_t log2_count() const noexcept { return lg_r_; }    // lg R
+  std::int64_t begin() const noexcept { return begin_; }
+  std::int64_t end() const noexcept { return end_; }
+
+  // Iteration sub-range of partition r (balanced split: the first
+  // (end-begin) mod R partitions get one extra iteration).
+  iter_range range(std::uint64_t r) const noexcept;
+
+  // Atomically claims partition r; returns true if this call won the claim
+  // (the fetch_and_or of Algorithm 2 line 5 succeeded).
+  bool try_claim(std::uint64_t r) noexcept;
+
+  // Non-destructive peek used by the DoHybridLoop steal protocol: a thief
+  // checks whether its designated partition is still available before
+  // entering the loop.
+  bool is_claimed(std::uint64_t r) const noexcept;
+
+  // Number of partitions claimed so far / whether all are claimed.
+  std::uint64_t claimed_count() const noexcept;
+  bool all_claimed() const noexcept;
+
+  // Adapter satisfying core::claim_flags so run_claim_loop drives this set.
+  struct flags_adapter {
+    partition_set& set;
+    bool test_and_set(std::uint64_t r) noexcept { return !set.try_claim(r); }
+  };
+  flags_adapter flags() noexcept { return flags_adapter{*this}; }
+
+ private:
+  std::int64_t begin_;
+  std::int64_t end_;
+  std::uint64_t r_;
+  std::uint64_t lg_r_;
+  std::int64_t base_size_;   // floor((end-begin)/R)
+  std::int64_t remainder_;   // (end-begin) mod R
+  std::vector<std::int64_t> weighted_bounds_;  // R+1 entries when weighted
+  std::unique_ptr<padded<std::atomic<std::uint8_t>>[]> claimed_;
+  alignas(kCacheLine) std::atomic<std::uint64_t> claimed_count_{0};
+};
+
+}  // namespace hls::core

@@ -1,0 +1,52 @@
+#include "core/weighted_split.h"
+
+#include <algorithm>
+
+namespace hls::core {
+
+std::vector<std::int64_t> weighted_boundaries(
+    std::int64_t begin, std::int64_t end, std::uint64_t pieces,
+    const std::function<double(std::int64_t)>& weight) {
+  if (pieces == 0) pieces = 1;
+  const std::int64_t n = end > begin ? end - begin : 0;
+  std::vector<std::int64_t> bounds(pieces + 1, end);
+  bounds[0] = begin;
+  if (n == 0) {
+    std::fill(bounds.begin(), bounds.end(), begin);
+    bounds.back() = end;
+    return bounds;
+  }
+
+  std::vector<double> cum(static_cast<std::size_t>(n) + 1, 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    double w = weight ? weight(begin + i) : 1.0;
+    if (!(w >= 0.0)) w = 0.0;  // clamp negatives/NaN
+    cum[static_cast<std::size_t>(i) + 1] =
+        cum[static_cast<std::size_t>(i)] + w;
+  }
+  const double total = cum.back();
+  if (total <= 0.0) {
+    // Degenerate: balanced split.
+    for (std::uint64_t k = 0; k <= pieces; ++k) {
+      bounds[k] = begin + static_cast<std::int64_t>(
+                              static_cast<std::uint64_t>(n) * k / pieces);
+    }
+    return bounds;
+  }
+
+  // k-th boundary: the smallest prefix length j with cum[j] >= k/pieces of
+  // the total weight. A single monotone scan keeps this O(n + pieces).
+  std::size_t j = 0;
+  for (std::uint64_t k = 1; k < pieces; ++k) {
+    const double target =
+        total * static_cast<double>(k) / static_cast<double>(pieces);
+    while (j < static_cast<std::size_t>(n) && cum[j] < target) ++j;
+    bounds[k] = std::min(std::max(begin + static_cast<std::int64_t>(j),
+                                  bounds[k - 1]),
+                         end);
+  }
+  bounds[pieces] = end;
+  return bounds;
+}
+
+}  // namespace hls::core

@@ -1,0 +1,27 @@
+// Weighted partition boundaries (the paper's Section VI extension).
+//
+// The related-work discussion notes that programmer-provided workload
+// annotations are complementary to the hybrid scheme: the annotation
+// dictates the *initial static partitioning* (so earmarked partitions carry
+// equal expected work instead of equal iteration counts), and the claiming
+// heuristic plus work stealing still provide semi-deterministic dynamic
+// balancing on top. This header computes those boundaries; both the
+// threaded runtime's partition_set and the discrete-event simulator use it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace hls::core {
+
+// Splits [begin, end) into `pieces` contiguous ranges whose weight sums are
+// as equal as possible. weight(i) must be >= 0 and finite; an all-zero
+// weighting degenerates to the balanced split. Returns pieces+1 boundary
+// values, boundaries.front() == begin, boundaries.back() == end,
+// non-decreasing.
+std::vector<std::int64_t> weighted_boundaries(
+    std::int64_t begin, std::int64_t end, std::uint64_t pieces,
+    const std::function<double(std::int64_t)>& weight);
+
+}  // namespace hls::core

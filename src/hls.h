@@ -1,0 +1,25 @@
+// Umbrella header: the full public API of the hybrid-loops library.
+//
+//   #include "hls.h"
+//
+//   hls::rt::runtime rt(8);
+//   hls::for_each(rt, 0, n, hls::policy::hybrid, [&](std::int64_t i) {...});
+//
+// Fine-grained headers remain available for faster builds:
+//   sched/loop.h        parallel_for / for_each / policies / loop_options
+//   sched/reduce.h      parallel_reduce / parallel_sum
+//   sched/task_group.h  spawn / wait fork-join
+//   sched/loop2d.h      parallel_for_2d tiling
+//   trace/loop_trace.h  execution tracing, trace/affinity.h affinity metric
+//   sim/engine.h        the discrete-event machine simulator
+//   memsim/hierarchy.h  the line-level cache/NUMA simulator
+#pragma once
+
+#include "runtime/runtime.h"
+#include "sched/loop.h"
+#include "sched/loop2d.h"
+#include "sched/policy.h"
+#include "sched/reduce.h"
+#include "sched/task_group.h"
+#include "trace/affinity.h"
+#include "trace/loop_trace.h"

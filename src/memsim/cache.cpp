@@ -1,0 +1,80 @@
+#include "memsim/cache.h"
+
+#include "util/bits.h"
+
+namespace hls::memsim {
+
+cache::cache(std::uint64_t total_bytes, std::uint32_t associativity,
+             std::uint32_t line_bytes) {
+  if (associativity == 0) associativity = 1;
+  if (line_bytes == 0) line_bytes = 64;
+  line_shift_ = ilog2(line_bytes);
+  const std::uint64_t lines = total_bytes / line_bytes;
+  num_sets_ = static_cast<std::uint32_t>(
+      lines / associativity == 0 ? 1 : lines / associativity);
+  ways_ = associativity;
+  entries_.assign(static_cast<std::size_t>(num_sets_) * ways_, way_entry{});
+}
+
+bool cache::access(std::uint64_t byte_addr) {
+  const std::uint64_t line = line_of(byte_addr);
+  const std::uint32_t set = static_cast<std::uint32_t>(line % num_sets_);
+  const std::uint64_t tag = line / num_sets_;
+  way_entry* base = &entries_[static_cast<std::size_t>(set) * ways_];
+  ++tick_;
+
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    way_entry& e = base[w];
+    if (e.valid && e.tag == tag) {
+      e.lru = tick_;
+      ++hits_;
+      return true;
+    }
+  }
+  ++misses_;
+  // Victim: first invalid way, else least recently used.
+  way_entry* victim = base;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    way_entry& e = base[w];
+    if (!e.valid) {
+      victim = &e;
+      break;
+    }
+    if (e.lru < victim->lru) victim = &e;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  return false;
+}
+
+bool cache::contains(std::uint64_t byte_addr) const {
+  const std::uint64_t line = line_of(byte_addr);
+  const std::uint32_t set = static_cast<std::uint32_t>(line % num_sets_);
+  const std::uint64_t tag = line / num_sets_;
+  const way_entry* base = &entries_[static_cast<std::size_t>(set) * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void cache::invalidate(std::uint64_t byte_addr) {
+  const std::uint64_t line = line_of(byte_addr);
+  const std::uint32_t set = static_cast<std::uint32_t>(line % num_sets_);
+  const std::uint64_t tag = line / num_sets_;
+  way_entry* base = &entries_[static_cast<std::size_t>(set) * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      base[w].valid = false;
+      return;
+    }
+  }
+}
+
+void cache::clear() {
+  for (auto& e : entries_) e = way_entry{};
+  tick_ = hits_ = misses_ = 0;
+}
+
+}  // namespace hls::memsim

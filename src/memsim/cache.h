@@ -1,0 +1,57 @@
+// Set-associative LRU cache model.
+//
+// Operates on line addresses (byte address >> log2(line)). Used by the
+// memory-hierarchy simulator to model private L1/L2 and per-socket shared
+// L3 caches at the paper machine's geometry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hls::memsim {
+
+class cache {
+ public:
+  // total_bytes and line_bytes must be powers of two; associativity >= 1.
+  cache(std::uint64_t total_bytes, std::uint32_t associativity,
+        std::uint32_t line_bytes);
+
+  // True on hit. On hit, refreshes LRU; on miss, inserts the line (evicting
+  // the LRU way).
+  bool access(std::uint64_t byte_addr);
+
+  // Lookup without insertion or LRU update (used for remote-L3 probes).
+  bool contains(std::uint64_t byte_addr) const;
+
+  // Invalidate a line if present (used when another socket takes
+  // exclusive ownership; the hierarchy keeps this simple and optional).
+  void invalidate(std::uint64_t byte_addr);
+
+  void clear();
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint32_t sets() const noexcept { return num_sets_; }
+  std::uint32_t ways() const noexcept { return ways_; }
+
+ private:
+  struct way_entry {
+    std::uint64_t tag = ~0ull;
+    std::uint64_t lru = 0;  // higher = more recent
+    bool valid = false;
+  };
+
+  std::uint64_t line_of(std::uint64_t byte_addr) const noexcept {
+    return byte_addr >> line_shift_;
+  }
+
+  std::uint32_t line_shift_;
+  std::uint32_t num_sets_;
+  std::uint32_t ways_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::vector<way_entry> entries_;  // num_sets_ * ways_, row-major by set
+};
+
+}  // namespace hls::memsim

@@ -1,0 +1,27 @@
+#include "memsim/from_trace.h"
+
+namespace hls::memsim {
+
+std::vector<sim::chunk_event> chunks_from_traces(
+    const std::vector<const trace::loop_trace*>& traces) {
+  std::vector<sim::chunk_event> out;
+  std::size_t total = 0;
+  for (const auto* t : traces) total += t->chunk_count();
+  out.reserve(total);
+
+  for (std::size_t li = 0; li < traces.size(); ++li) {
+    const double loop_base = static_cast<double>(li) * 1e12;
+    for (const auto& c : traces[li]->sorted_by_seq()) {
+      sim::chunk_event e;
+      e.begin = c.begin;
+      e.end = c.end;
+      e.core = c.worker;
+      e.loop_in_sequence = static_cast<std::uint32_t>(li);
+      e.start_ns = loop_base + static_cast<double>(c.seq);
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace hls::memsim

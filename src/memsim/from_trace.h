@@ -1,0 +1,25 @@
+// Bridge from real threaded-runtime loop traces to the memory simulator.
+//
+// The discrete-event simulator records chunk schedules natively; this
+// adapter lets REAL runs do the same: record loop_trace instances with
+// loop_options::trace, convert them here, and replay through the line-level
+// hierarchy. Chunk ordering uses each trace's global execution sequence, so
+// cross-loop interleaving is preserved per loop and loops follow each other
+// in program order (the outer iterative structure).
+#pragma once
+
+#include <vector>
+
+#include "sim/engine.h"
+#include "trace/loop_trace.h"
+
+namespace hls::memsim {
+
+// Converts a sequence of per-loop traces (one per executed parallel loop,
+// in program order) to the chunk-event form replay_schedule consumes.
+// loop_in_sequence is the trace's index; start_ns is a synthetic ordering
+// key (loop index major, trace sequence minor).
+std::vector<sim::chunk_event> chunks_from_traces(
+    const std::vector<const trace::loop_trace*>& traces);
+
+}  // namespace hls::memsim

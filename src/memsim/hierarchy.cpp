@@ -1,0 +1,145 @@
+#include "memsim/hierarchy.h"
+
+#include <cstdlib>
+
+namespace hls::memsim {
+
+namespace {
+constexpr std::uint64_t kPageBytes = 4096;
+}
+
+double mem_counts::inferred_latency_ns(const sim::machine_desc& m,
+                                       bool include_l1) const noexcept {
+  double lat = static_cast<double>(l2) * m.lat_l2 +
+               static_cast<double>(l3) * m.lat_l3 +
+               static_cast<double>(dram_local) * m.lat_dram_local +
+               static_cast<double>(remote_l3) * m.lat_remote_l3 +
+               static_cast<double>(dram_remote) * m.lat_dram_remote;
+  if (include_l1) lat += static_cast<double>(l1) * m.lat_l1;
+  return lat;
+}
+
+mem_counts& mem_counts::operator+=(const mem_counts& o) noexcept {
+  l1 += o.l1;
+  l2 += o.l2;
+  l3 += o.l3;
+  dram_local += o.dram_local;
+  remote_l3 += o.remote_l3;
+  dram_remote += o.dram_remote;
+  prefetches += o.prefetches;
+  return *this;
+}
+
+hierarchy::hierarchy(const sim::machine_desc& m, const prefetcher_config& pf)
+    : m_(m), pf_(pf), streams_(m.total_cores) {
+  l1_.reserve(m_.total_cores);
+  l2_.reserve(m_.total_cores);
+  for (std::uint32_t c = 0; c < m_.total_cores; ++c) {
+    l1_.emplace_back(m_.l1_bytes, 8, m_.line_bytes);
+    l2_.emplace_back(m_.l2_bytes, 8, m_.line_bytes);
+  }
+  l3_.reserve(m_.sockets);
+  for (std::uint32_t s = 0; s < m_.sockets; ++s) {
+    l3_.emplace_back(m_.l3_bytes, 16, m_.line_bytes);
+  }
+  dtlb_.reserve(m_.total_cores);
+  stlb_.reserve(m_.total_cores);
+  for (std::uint32_t c = 0; c < m_.total_cores; ++c) {
+    // cache keyed at page granularity: capacity = entries * page size.
+    dtlb_.emplace_back(64ull * kPageBytes, 4, kPageBytes);
+    stlb_.emplace_back(512ull * kPageBytes, 4, kPageBytes);
+  }
+}
+
+std::uint32_t hierarchy::page_home(std::uint64_t addr,
+                                   std::uint32_t toucher_core) {
+  const std::uint64_t page = addr / kPageBytes;
+  const auto [it, inserted] =
+      page_home_.try_emplace(page, m_.socket_of(toucher_core));
+  (void)inserted;
+  return it->second;
+}
+
+void hierarchy::maybe_prefetch(std::uint32_t core, std::uint64_t line_addr) {
+  stream_state& st = streams_[core];
+  const auto line = static_cast<std::int64_t>(line_addr / m_.line_bytes);
+  if (st.last_line >= 0) {
+    const std::int64_t delta = line - st.last_line;
+    if (delta != 0 && std::abs(delta) <= pf_.max_stride_lines &&
+        delta == st.last_delta) {
+      if (st.confidence < pf_.trigger_confidence) ++st.confidence;
+    } else {
+      st.confidence = delta == 0 ? st.confidence : 0;
+    }
+    if (delta != 0) st.last_delta = delta;
+  }
+  st.last_line = line;
+  if (st.confidence < pf_.trigger_confidence) return;
+
+  // Stream locked: pull the next `degree` lines into L2/L3 (no demand
+  // counting; later demand accesses to them count as L2 hits).
+  const std::uint32_t socket = m_.socket_of(core);
+  for (int k = 1; k <= pf_.degree; ++k) {
+    const std::int64_t target = line + st.last_delta * k;
+    if (target < 0) break;
+    const std::uint64_t a =
+        static_cast<std::uint64_t>(target) * m_.line_bytes;
+    if (!l2_[core].contains(a)) {
+      l2_[core].access(a);
+      l3_[socket].access(a);
+      ++counts_.prefetches;
+    }
+  }
+}
+
+void hierarchy::translate(std::uint32_t core, std::uint64_t addr) {
+  if (dtlb_[core].access(addr)) {
+    ++tlb_counts_.l1_hits;
+    return;
+  }
+  if (stlb_[core].access(addr)) {
+    ++tlb_counts_.l2_hits;
+    return;
+  }
+  ++tlb_counts_.walks;
+}
+
+void hierarchy::access(std::uint32_t core, std::uint64_t addr) {
+  const std::uint32_t socket = m_.socket_of(core);
+  translate(core, addr);
+  if (pf_.enabled) maybe_prefetch(core, addr);
+
+  if (l1_[core].access(addr)) {
+    ++counts_.l1;
+    return;
+  }
+  if (l2_[core].access(addr)) {
+    ++counts_.l2;
+    return;
+  }
+  if (l3_[socket].access(addr)) {
+    ++counts_.l3;
+    return;
+  }
+  // Local L3 missed (and the miss inserted the line there). Check the other
+  // sockets' L3s: a hit there is serviced cache-to-cache ("remote L3"); the
+  // remote copy is invalidated, modelling migratory sharing of the loop's
+  // private regions.
+  for (std::uint32_t s = 0; s < m_.sockets; ++s) {
+    if (s == socket) continue;
+    if (l3_[s].contains(addr)) {
+      l3_[s].invalidate(addr);
+      ++counts_.remote_l3;
+      return;
+    }
+  }
+  // DRAM, at the page's first-touch home.
+  const std::uint32_t home = page_home(addr, core);
+  if (home == socket) {
+    ++counts_.dram_local;
+  } else {
+    ++counts_.dram_remote;
+  }
+}
+
+}  // namespace hls::memsim

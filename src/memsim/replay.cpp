@@ -1,0 +1,106 @@
+#include "memsim/replay.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+
+namespace hls::memsim {
+
+namespace {
+
+// Contiguous address layout of all regions; region sizes are the maximum
+// bytes any loop touches in them.
+struct region_layout {
+  std::vector<std::uint64_t> base;  // region id -> base byte address
+  std::vector<std::uint64_t> size;  // region id -> bytes
+
+  region_layout(const sim::workload_spec& w) {
+    const auto regions =
+        static_cast<std::size_t>(w.region_count > 0 ? w.region_count : 1);
+    size.assign(regions, 0);
+    for (const auto& ls : w.loops) {
+      for (std::int64_t i = 0; i < ls.n; ++i) {
+        const auto r = static_cast<std::size_t>(ls.region(i));
+        size[r] = std::max(size[r], ls.region_bytes(i));
+      }
+    }
+    base.resize(regions);
+    std::uint64_t addr = 0;
+    for (std::size_t r = 0; r < regions; ++r) {
+      base[r] = addr;
+      // Page-align regions so first-touch homes are per-region.
+      addr += (size[r] + 4095) & ~std::uint64_t{4095};
+    }
+  }
+};
+
+}  // namespace
+
+mem_counts replay_schedule(hierarchy& h, const sim::workload_spec& w,
+                           std::vector<sim::chunk_event> schedule,
+                           std::uint32_t p_used, const replay_options& opt) {
+  if (p_used == 0) p_used = 1;
+  const region_layout layout(w);
+  const std::uint32_t line = h.machine().line_bytes;
+
+  // NUMA-aware first touch: region r's pages are homed at its static
+  // owner's socket.
+  const std::size_t regions = layout.size.size();
+  for (std::size_t r = 0; r < regions; ++r) {
+    const auto owner = static_cast<std::uint32_t>(r * p_used / regions);
+    for (std::uint64_t a = layout.base[r]; a < layout.base[r] + layout.size[r];
+         a += 4096) {
+      h.page_home(a, owner);
+    }
+  }
+
+  std::sort(schedule.begin(), schedule.end(),
+            [](const sim::chunk_event& a, const sim::chunk_event& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.loop_in_sequence < b.loop_in_sequence;
+            });
+
+  h.reset_counts();
+  const std::size_t num_loops = w.loops.empty() ? 1 : w.loops.size();
+  const std::uint32_t elems_per_line =
+      std::max<std::uint32_t>(1, line / opt.element_bytes);
+
+  for (const auto& c : schedule) {
+    const sim::loop_spec& ls = w.loops[c.loop_in_sequence % num_loops];
+    for (std::int64_t i = c.begin; i < c.end; ++i) {
+      const auto r = static_cast<std::size_t>(ls.region(i));
+      const std::uint64_t bytes = ls.region_bytes(i);
+      if (bytes == 0) continue;
+      const std::uint64_t base = layout.base[r];
+
+      if (opt.element_granularity) {
+        const std::int64_t elems =
+            static_cast<std::int64_t>(bytes / opt.element_bytes);
+        const std::int64_t s = opt.stride_elements;
+        for (std::int64_t phase = 0; phase < std::min<std::int64_t>(s, elems);
+             ++phase) {
+          for (std::int64_t k = phase; k < elems; k += s) {
+            h.access(c.core,
+                     base + static_cast<std::uint64_t>(k) * opt.element_bytes);
+          }
+        }
+      } else {
+        const std::int64_t lines =
+            static_cast<std::int64_t>(ceil_div(bytes, line));
+        const std::int64_t s = opt.stride_elements;
+        for (std::int64_t phase = 0; phase < std::min<std::int64_t>(s, lines);
+             ++phase) {
+          for (std::int64_t k = phase; k < lines; k += s) {
+            h.access(c.core, base + static_cast<std::uint64_t>(k) * line);
+          }
+        }
+        // The remaining element touches of each line land in L1.
+        h.add_l1_hits(static_cast<std::uint64_t>(lines) *
+                      (elems_per_line - 1));
+      }
+    }
+  }
+  return h.counts();
+}
+
+}  // namespace hls::memsim

@@ -1,0 +1,60 @@
+#include "runtime/board.h"
+
+#include <thread>
+
+#include "runtime/worker.h"
+
+namespace hls::rt {
+
+int board::post(std::shared_ptr<loop_record> rec) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (int s = 0; s < kSlots; ++s) {
+    if (slots_[s].keeper == nullptr) {
+      slots_[s].keeper = std::move(rec);
+      slots_[s].ptr.store(slots_[s].keeper.get());
+      return s;
+    }
+  }
+  return -1;  // full: the caller runs the loop without board arrival
+}
+
+void board::clear(int s) {
+  if (s < 0) return;
+  slots_[s].ptr.store(nullptr);
+  // Wait out visitors that announced themselves before the unpublish; a
+  // finished record's participate() returns promptly, so this is brief.
+  while (slots_[s].readers.load() != 0) {
+    std::this_thread::yield();
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  slots_[s].keeper.reset();
+}
+
+bool board::visit(worker& w) {
+  bool worked = false;
+  // Innermost-first: later posts land in higher free slots in the common
+  // nesting pattern, so scan from the top.
+  for (int s = kSlots - 1; s >= 0; --s) {
+    slot& sl = slots_[s];
+    if (sl.ptr.load(std::memory_order_relaxed) == nullptr) continue;
+    sl.readers.fetch_add(1);
+    // Re-read under the reader mark: either this sees the pointer still
+    // published, or clear() already unpublished it (and is now waiting for
+    // the reader count to drain).
+    loop_record* rec = sl.ptr.load();
+    if (rec != nullptr && !rec->finished()) {
+      worked = rec->participate(w) || worked;
+    }
+    sl.readers.fetch_sub(1);
+  }
+  return worked;
+}
+
+bool board::any_open() const noexcept {
+  for (int s = 0; s < kSlots; ++s) {
+    if (slots_[s].ptr.load(std::memory_order_acquire) != nullptr) return true;
+  }
+  return false;
+}
+
+}  // namespace hls::rt

@@ -1,0 +1,85 @@
+// The loop participation board.
+//
+// Emulates the paper's "steal into a parallel loop" behaviour without
+// compiler-supported continuation stealing: a running loop is published
+// here, and idle workers consult the board before random stealing. Each
+// policy decides in participate() what an arriving worker does — take its
+// earmarked static block, grab chunks from the shared queue, or run the
+// hybrid DoHybridLoop protocol under its own worker ID.
+//
+// Lifetime protocol: post/clear are rare (once per loop) and serialize on a
+// mutex; the hot visit path is lock-free. Each slot pairs a raw published
+// pointer with a visitor reader count: clear() unpublishes the pointer and
+// then waits for in-flight visitors of that slot before dropping the
+// keeper reference, and visitors re-check the pointer after announcing
+// themselves, so either the visitor sees the unpublish or clear waits.
+// (std::atomic<std::shared_ptr> would also work but its libstdc++
+// implementation takes an internal spinlock per access and is not
+// TSAN-clean.)
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "util/cacheline.h"
+
+namespace hls::rt {
+
+class worker;
+
+class loop_record {
+ public:
+  virtual ~loop_record() = default;
+
+  // An idle worker offers to participate in this loop. Returns true if the
+  // worker performed any work. Implementations must be safe to call
+  // concurrently from all workers and must return (not block) once the loop
+  // has no work left to hand out.
+  virtual bool participate(worker& w) = 0;
+
+  // True once every iteration of the loop has executed.
+  virtual bool finished() const noexcept = 0;
+};
+
+class board {
+ public:
+  static constexpr int kSlots = 16;  // concurrently open (nested) loops
+
+  board() = default;
+  board(const board&) = delete;
+  board& operator=(const board&) = delete;
+
+  // Publishes a loop; returns the slot to pass to clear(), or -1 when all
+  // slots are occupied (deep help-first nesting). An unposted loop is still
+  // correct: the posting worker completes it single-handedly and thieves
+  // can reach its divide-and-conquer subtasks through ordinary deque
+  // steals; only board-mediated arrival is lost.
+  int post(std::shared_ptr<loop_record> rec);
+
+  // Unpublishes the slot and blocks until in-flight visitors leave it.
+  // Must only be called after the loop has finished (visitors of a
+  // finished record return promptly).
+  void clear(int slot);
+
+  // Lets worker w participate in open loops, innermost (most recently
+  // posted) first. Returns true if any participation did work.
+  bool visit(worker& w);
+
+  bool any_open() const noexcept;
+
+ private:
+  struct slot {
+    // seq_cst on ptr/readers gives the Dekker-style guarantee between
+    // visit's (readers++; re-read ptr) and clear's (ptr = null; read
+    // readers).
+    std::atomic<loop_record*> ptr{nullptr};
+    alignas(kCacheLine) std::atomic<int> readers{0};
+    std::shared_ptr<loop_record> keeper;  // guarded by mu_
+  };
+
+  std::mutex mu_;  // post/clear bookkeeping only
+  slot slots_[kSlots];
+};
+
+}  // namespace hls::rt

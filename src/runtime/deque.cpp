@@ -1,0 +1,110 @@
+#include "runtime/deque.h"
+
+#include "util/bits.h"
+
+// ThreadSanitizer does not model std::atomic_thread_fence, so the
+// fence-based Chase-Lev publication (slot store relaxed; release fence;
+// bottom store relaxed) is reported as a race even though it is correct
+// under the C++ memory model (Le et al., PPoPP'13). Under TSAN we upgrade
+// the per-operation orderings so the tool can see the happens-before edges;
+// performance under a sanitizer is irrelevant.
+#if defined(__SANITIZE_THREAD__)
+#define HLS_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HLS_TSAN 1
+#endif
+#endif
+
+namespace hls::rt {
+
+namespace {
+#ifdef HLS_TSAN
+constexpr std::memory_order kSlotStore = std::memory_order_release;
+constexpr std::memory_order kSlotLoad = std::memory_order_acquire;
+constexpr std::memory_order kBottomPublish = std::memory_order_seq_cst;
+#else
+constexpr std::memory_order kSlotStore = std::memory_order_relaxed;
+constexpr std::memory_order kSlotLoad = std::memory_order_relaxed;
+constexpr std::memory_order kBottomPublish = std::memory_order_relaxed;
+#endif
+}  // namespace
+
+ws_deque::ws_deque(std::size_t initial_capacity)
+    : ring_(new ring(next_pow2(initial_capacity < 2 ? 2 : initial_capacity))) {
+}
+
+ws_deque::~ws_deque() { delete ring_.load(std::memory_order_relaxed); }
+
+ws_deque::ring* ws_deque::grow(ring* old, std::int64_t bottom,
+                               std::int64_t top) {
+  auto* bigger = new ring(old->capacity * 2);
+  for (std::int64_t i = top; i < bottom; ++i) {
+    bigger->put(i, old->get(i, kSlotLoad), kSlotStore);
+  }
+  // Old ring stays alive until the deque is destroyed: a concurrent thief
+  // may still be reading from it.
+  retired_.emplace_back(old);
+  ring_.store(bigger, std::memory_order_release);
+  return bigger;
+}
+
+void ws_deque::push(task* t) {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  const std::int64_t tp = top_.load(std::memory_order_acquire);
+  ring* r = ring_.load(std::memory_order_relaxed);
+  if (b - tp > static_cast<std::int64_t>(r->capacity) - 1) {
+    r = grow(r, b, tp);
+  }
+  r->put(b, t, kSlotStore);
+  std::atomic_thread_fence(std::memory_order_release);
+  bottom_.store(b + 1, kBottomPublish);
+}
+
+task* ws_deque::pop() {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  ring* r = ring_.load(std::memory_order_relaxed);
+  bottom_.store(b, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  std::int64_t tp = top_.load(std::memory_order_relaxed);
+
+  if (tp > b) {
+    // Deque was empty; restore the invariant.
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return nullptr;
+  }
+
+  task* t = r->get(b, kSlotLoad);
+  if (tp == b) {
+    // Single element: race against thieves for it.
+    if (!top_.compare_exchange_strong(tp, tp + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      t = nullptr;  // a thief won
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+  return t;
+}
+
+task* ws_deque::steal() {
+  std::int64_t tp = top_.load(std::memory_order_acquire);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const std::int64_t b = bottom_.load(std::memory_order_acquire);
+  if (tp >= b) return nullptr;
+
+  ring* r = ring_.load(std::memory_order_consume);
+  task* t = r->get(tp, kSlotLoad);
+  if (!top_.compare_exchange_strong(tp, tp + 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed)) {
+    return nullptr;  // lost the race
+  }
+  return t;
+}
+
+std::int64_t ws_deque::size_estimate() const noexcept {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  const std::int64_t tp = top_.load(std::memory_order_relaxed);
+  return b > tp ? b - tp : 0;
+}
+
+}  // namespace hls::rt

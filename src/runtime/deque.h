@@ -1,0 +1,66 @@
+// Chase-Lev work-stealing deque (dynamic circular array variant).
+//
+// The owning worker pushes and pops at the bottom; thieves steal from the
+// top. Lock-free; the only synchronizing CAS is between a thief and either
+// another thief or the owner taking the last element. Memory orders follow
+// Le, Pop, Cohen, Zappa Nardelli, "Correct and Efficient Work-Stealing for
+// Weak Memory Models" (PPoPP'13).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/cacheline.h"
+
+namespace hls::rt {
+
+class task;
+
+class ws_deque {
+ public:
+  explicit ws_deque(std::size_t initial_capacity = 1u << 10);
+  ~ws_deque();
+
+  ws_deque(const ws_deque&) = delete;
+  ws_deque& operator=(const ws_deque&) = delete;
+
+  // Owner only. Grows the array when full.
+  void push(task* t);
+
+  // Owner only. Returns nullptr when empty.
+  task* pop();
+
+  // Any thread. Returns nullptr when empty or when the steal races and
+  // loses (the caller treats both as a failed steal attempt).
+  task* steal();
+
+  // Racy size estimate; used only for victim-selection heuristics.
+  std::int64_t size_estimate() const noexcept;
+
+ private:
+  struct ring {
+    explicit ring(std::size_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<task*>[cap]) {}
+    std::size_t capacity;
+    std::size_t mask;
+    std::unique_ptr<std::atomic<task*>[]> slots;
+
+    task* get(std::int64_t i, std::memory_order mo) const noexcept {
+      return slots[static_cast<std::size_t>(i) & mask].load(mo);
+    }
+    void put(std::int64_t i, task* t, std::memory_order mo) noexcept {
+      slots[static_cast<std::size_t>(i) & mask].store(t, mo);
+    }
+  };
+
+  ring* grow(ring* old, std::int64_t bottom, std::int64_t top);
+
+  alignas(kCacheLine) std::atomic<std::int64_t> top_{0};
+  alignas(kCacheLine) std::atomic<std::int64_t> bottom_{0};
+  alignas(kCacheLine) std::atomic<ring*> ring_;
+  std::vector<std::unique_ptr<ring>> retired_;  // owner-only; freed at dtor
+};
+
+}  // namespace hls::rt

@@ -1,0 +1,83 @@
+#include "runtime/runtime.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/rng.h"
+
+namespace hls::rt {
+
+namespace {
+// Thread-local binding of OS thread -> worker, so nested parallel calls
+// issued from inside tasks land on the executing worker.
+thread_local worker* tls_worker = nullptr;
+}  // namespace
+
+worker* current_worker_or_null() noexcept { return tls_worker; }
+
+runtime::runtime(std::uint32_t num_workers, std::uint64_t seed) {
+  if (num_workers == 0) num_workers = 1;
+  std::uint64_t sm = seed;
+  workers_.reserve(num_workers);
+  for (std::uint32_t i = 0; i < num_workers; ++i) {
+    workers_.push_back(std::make_unique<worker>(*this, i, splitmix64(sm)));
+  }
+  tls_worker = workers_[0].get();
+  threads_.reserve(num_workers > 0 ? num_workers - 1 : 0);
+  for (std::uint32_t i = 1; i < num_workers; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+runtime::~runtime() {
+  stop_.store(true, std::memory_order_release);
+  notify_work();
+  for (auto& t : threads_) t.join();
+  if (tls_worker == workers_[0].get()) tls_worker = nullptr;
+}
+
+worker& runtime::current_worker() {
+  worker* w = tls_worker;
+  if (w == nullptr || &w->rt() != this) {
+    std::fprintf(stderr,
+                 "hls: current_worker() called from a thread not bound to "
+                 "this runtime\n");
+    std::abort();
+  }
+  return *w;
+}
+
+void runtime::notify_work() noexcept {
+  if (sleepers_.load(std::memory_order_acquire) > 0) {
+    // The lock pairs with the sleeper's check-then-wait so a wakeup between
+    // its check and wait() is not lost.
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    sleep_cv_.notify_all();
+  }
+}
+
+void runtime::idle_sleep() {
+  std::unique_lock<std::mutex> lk(sleep_mu_);
+  sleepers_.fetch_add(1, std::memory_order_acq_rel);
+  if (!stopping()) {
+    sleep_cv_.wait_for(lk, std::chrono::microseconds(200));
+  }
+  sleepers_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void runtime::worker_main(std::uint32_t id) {
+  worker& w = *workers_[id];
+  tls_worker = &w;
+  int idle = 0;
+  while (!stopping()) {
+    if (w.try_progress()) {
+      idle = 0;
+    } else {
+      w.pause(++idle);
+    }
+  }
+  tls_worker = nullptr;
+}
+
+}  // namespace hls::rt

@@ -1,0 +1,78 @@
+// The hls work-stealing runtime.
+//
+// Construction spawns P-1 background worker threads; the constructing
+// thread acts as worker 0 (like a Cilk program's initial worker). The
+// runtime owns the loop participation board through which all work-sharing
+// and hybrid loops distribute work.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/board.h"
+#include "runtime/worker.h"
+
+namespace hls::rt {
+
+// The worker bound to the calling thread, or nullptr when the thread is not
+// a runtime worker (e.g. during static initialization or in tests that use
+// tasks without a runtime). Used by pooled task allocation.
+worker* current_worker_or_null() noexcept;
+
+class runtime {
+ public:
+  // num_workers >= 1. seed makes victim selection reproducible per worker.
+  explicit runtime(std::uint32_t num_workers, std::uint64_t seed = 42);
+  ~runtime();
+
+  runtime(const runtime&) = delete;
+  runtime& operator=(const runtime&) = delete;
+
+  std::uint32_t num_workers() const noexcept {
+    return static_cast<std::uint32_t>(workers_.size());
+  }
+  worker& worker_at(std::uint32_t i) noexcept { return *workers_[i]; }
+  board& loop_board() noexcept { return board_; }
+
+  // The worker bound to the calling thread. Worker 0 is bound to the thread
+  // that constructed the runtime; a call from any other non-worker thread
+  // is a usage error and aborts.
+  worker& current_worker();
+
+  // Wakes sleeping workers; called after pushes and board posts.
+  void notify_work() noexcept;
+
+  // Timed sleep for an idle worker; returns on notify_work, timeout, or
+  // shutdown.
+  void idle_sleep();
+
+  bool stopping() const noexcept {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  // Sum of all workers' event counters (racy-but-consistent snapshot).
+  worker_stats stats_snapshot() const {
+    worker_stats total;
+    for (const auto& w : workers_) total += w->stats();
+    return total;
+  }
+
+ private:
+  void worker_main(std::uint32_t id);
+
+  std::vector<std::unique_ptr<worker>> workers_;
+  std::vector<std::thread> threads_;
+  board board_;
+  std::atomic<bool> stop_{false};
+
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::atomic<std::uint32_t> sleepers_{0};
+};
+
+}  // namespace hls::rt

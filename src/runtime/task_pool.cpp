@@ -1,0 +1,72 @@
+#include "runtime/task_pool.h"
+
+#include <new>
+
+namespace hls::rt {
+
+block_pool::~block_pool() = default;
+
+void block_pool::add_slab() {
+  slabs_.push_back(std::make_unique<std::byte[]>(kBlockBytes * kBlocksPerSlab));
+  std::byte* base = slabs_.back().get();
+  for (std::size_t b = 0; b < kBlocksPerSlab; ++b) {
+    auto* h = reinterpret_cast<header*>(base + b * kBlockBytes);
+    h->owner = this;
+    h->next = free_;
+    free_ = h;
+  }
+}
+
+void block_pool::drain_returns() noexcept {
+  header* chain = returned_.exchange(nullptr, std::memory_order_acquire);
+  while (chain != nullptr) {
+    header* next = chain->next;
+    chain->next = free_;
+    free_ = chain;
+    chain = next;
+  }
+}
+
+void* block_pool::allocate() {
+  if (free_ == nullptr) {
+    drain_returns();
+    if (free_ == nullptr) add_slab();
+  }
+  header* h = free_;
+  free_ = h->next;
+  return h + 1;
+}
+
+void block_pool::deallocate(void* p) noexcept {
+  auto* h = static_cast<header*>(p) - 1;
+  block_pool* owner = h->owner;
+  if (owner == nullptr) {
+    ::operator delete(h);
+    return;
+  }
+  header* top = owner->returned_.load(std::memory_order_relaxed);
+  do {
+    h->next = top;
+  } while (!owner->returned_.compare_exchange_weak(
+      top, h, std::memory_order_release, std::memory_order_relaxed));
+}
+
+void* block_pool::allocate_sized(block_pool* pool, std::size_t bytes) {
+  if (pool != nullptr && bytes <= kUsableBytes) return pool->allocate();
+  // Heap fallback with a compatible header so deallocate() can tell.
+  auto* h = static_cast<header*>(::operator new(kHeaderBytes + bytes));
+  h->owner = nullptr;
+  return h + 1;
+}
+
+std::size_t block_pool::free_count() const noexcept {
+  std::size_t n = 0;
+  for (const header* h = free_; h != nullptr; h = h->next) ++n;
+  for (const header* h = returned_.load(std::memory_order_acquire);
+       h != nullptr; h = h->next) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace hls::rt

@@ -1,0 +1,64 @@
+// Per-worker block pool for task allocation.
+//
+// Divide-and-conquer loops allocate one small task per exposed chunk, on
+// the hot path. Tasks migrate between workers via steals, so a block can be
+// freed by a different thread than its allocator: frees push the block onto
+// the owning pool's lock-free return stack (Treiber), and the owner drains
+// that stack into its private freelist on the next allocation. Blocks are
+// carved from slabs that live until the pool is destroyed.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace hls::rt {
+
+class block_pool {
+ public:
+  // Usable bytes per block (the largest pooled task). Requests above this
+  // fall back to the global allocator transparently.
+  static constexpr std::size_t kUsableBytes = 48;
+
+  block_pool() = default;
+  ~block_pool();
+
+  block_pool(const block_pool&) = delete;
+  block_pool& operator=(const block_pool&) = delete;
+
+  // Owner thread only.
+  void* allocate();
+
+  // Any thread. p must come from some block_pool's allocate() or from
+  // fallback_allocate().
+  static void deallocate(void* p) noexcept;
+
+  // Size-checked entry points for operator new/delete integration: pools
+  // requests that fit, heap-allocates (with a compatible header) otherwise
+  // or when no pool is supplied.
+  static void* allocate_sized(block_pool* pool, std::size_t bytes);
+
+  // Blocks currently parked in this pool (freelist + unreclaimed returns);
+  // used by tests.
+  std::size_t free_count() const noexcept;
+  std::size_t slab_count() const noexcept { return slabs_.size(); }
+
+ private:
+  struct header {
+    block_pool* owner;  // nullptr = heap fallback
+    header* next;
+  };
+  static constexpr std::size_t kHeaderBytes = sizeof(header);
+  static constexpr std::size_t kBlockBytes = kHeaderBytes + kUsableBytes;
+  static constexpr std::size_t kBlocksPerSlab = 512;
+
+  void add_slab();
+  void drain_returns() noexcept;
+
+  header* free_ = nullptr;                         // owner-local
+  std::atomic<header*> returned_{nullptr};         // cross-thread returns
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+};
+
+}  // namespace hls::rt

@@ -1,0 +1,85 @@
+#include "runtime/worker.h"
+
+#include <thread>
+
+#include "runtime/runtime.h"
+#include "runtime/task.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace hls::rt {
+
+namespace {
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+}  // namespace
+
+worker::worker(runtime& rt, std::uint32_t id, std::uint64_t seed)
+    : rt_(rt), id_(id), rng_(seed) {}
+
+void worker::push(task* t) {
+  deque_.push(t);
+  rt_.notify_work();
+}
+
+task* worker::pop_local() { return deque_.pop(); }
+
+void worker::run(task* t) {
+  stats_.tasks_run.fetch_add(1, std::memory_order_relaxed);
+  t->execute(*this);
+  delete t;
+}
+
+void worker::drain_local() {
+  while (task* t = pop_local()) run(t);
+}
+
+bool worker::try_steal_round() {
+  const std::uint32_t p = rt_.num_workers();
+  if (p <= 1) return false;
+  // One round: up to P random victim probes (standard randomized stealing;
+  // the round bound keeps the idle loop responsive to board posts).
+  for (std::uint32_t attempt = 0; attempt < p; ++attempt) {
+    const auto victim =
+        static_cast<std::uint32_t>(rng_.next_below(p - 1));
+    const std::uint32_t v = victim >= id_ ? victim + 1 : victim;
+    stats_.steal_probes.fetch_add(1, std::memory_order_relaxed);
+    if (task* t = rt_.worker_at(v).deque().steal()) {
+      stats_.steals.fetch_add(1, std::memory_order_relaxed);
+      run(t);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool worker::try_progress() {
+  if (task* t = pop_local()) {
+    run(t);
+    return true;
+  }
+  if (rt_.loop_board().visit(*this)) {
+    stats_.board_participations.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return try_steal_round();
+}
+
+void worker::pause(int idle_count) {
+  if (idle_count < 4) {
+    cpu_relax();
+  } else if (idle_count < 16) {
+    std::this_thread::yield();
+  } else {
+    rt_.idle_sleep();
+  }
+}
+
+}  // namespace hls::rt

@@ -1,0 +1,118 @@
+// A worker: the surrogate of one processing core (paper Section II).
+//
+// Each worker owns a Chase-Lev deque and, when idle, (1) pops local work,
+// (2) visits the loop participation board, (3) steals from a random victim.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "runtime/deque.h"
+#include "runtime/task_pool.h"
+#include "util/rng.h"
+
+namespace hls::rt {
+
+class runtime;
+class task;
+
+// Snapshot of a worker's scheduler event counters (monotonic over the
+// runtime's life). The live counters are relaxed atomics updated only by
+// the owning worker; snapshots read from any thread may lag but are
+// well-defined.
+struct worker_stats {
+  std::uint64_t tasks_run = 0;          // tasks executed (own + stolen)
+  std::uint64_t steals = 0;             // successful steals
+  std::uint64_t steal_probes = 0;       // victim probes (incl. failures)
+  std::uint64_t board_participations = 0;  // board visits that did work
+
+  worker_stats& operator+=(const worker_stats& o) noexcept {
+    tasks_run += o.tasks_run;
+    steals += o.steals;
+    steal_probes += o.steal_probes;
+    board_participations += o.board_participations;
+    return *this;
+  }
+};
+
+class worker {
+ public:
+  worker(runtime& rt, std::uint32_t id, std::uint64_t seed);
+
+  worker(const worker&) = delete;
+  worker& operator=(const worker&) = delete;
+
+  std::uint32_t id() const noexcept { return id_; }
+  runtime& rt() noexcept { return rt_; }
+  ws_deque& deque() noexcept { return deque_; }
+  xoshiro256ss& rng() noexcept { return rng_; }
+
+  // Pushes a task onto this worker's own deque (owner thread only) and
+  // wakes sleeping thieves.
+  void push(task* t);
+
+  // Pops from the local deque (owner thread only).
+  task* pop_local();
+
+  // Executes t and deletes it.
+  void run(task* t);
+
+  // One scheduling step: local pop, board visit, or one round of steal
+  // attempts. Returns true if progress was made.
+  bool try_progress();
+
+  // Drains and executes the local deque until it is empty. Used by the
+  // hybrid loop to finish a claimed partition depth-first before the next
+  // claim, mirroring the serial execution order of continuation stealing.
+  void drain_local();
+
+  worker_stats stats() const noexcept {
+    worker_stats s;
+    s.tasks_run = stats_.tasks_run.load(std::memory_order_relaxed);
+    s.steals = stats_.steals.load(std::memory_order_relaxed);
+    s.steal_probes = stats_.steal_probes.load(std::memory_order_relaxed);
+    s.board_participations =
+        stats_.board_participations.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  // Block pool for this worker's task allocations (owner thread only).
+  block_pool& pool() noexcept { return pool_; }
+
+  // Runs scheduling steps until pred() holds, backing off when idle.
+  template <typename Pred>
+  void work_until(Pred&& pred) {
+    int idle = 0;
+    while (!pred()) {
+      if (try_progress()) {
+        idle = 0;
+        continue;
+      }
+      pause(++idle);
+    }
+  }
+
+ private:
+  friend class runtime;
+
+  // Progressive backoff: relax -> yield -> timed sleep on the runtime's
+  // idle condition variable.
+  void pause(int idle_count);
+
+  // One round of steal attempts over random victims.
+  bool try_steal_round();
+
+  runtime& rt_;
+  std::uint32_t id_;
+  ws_deque deque_;
+  xoshiro256ss rng_;
+  struct stat_counters {
+    std::atomic<std::uint64_t> tasks_run{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> steal_probes{0};
+    std::atomic<std::uint64_t> board_participations{0};
+  } stats_;
+  block_pool pool_;
+};
+
+}  // namespace hls::rt

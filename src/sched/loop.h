@@ -1,0 +1,75 @@
+// Public parallel-loop API.
+//
+// A single entry point, parallel_for, schedules a loop under one of the
+// policies the paper evaluates:
+//
+//   serial         - no parallelism (the Ts baseline)
+//   static_part    - P earmarked blocks, strict ownership (omp static)
+//   dynamic_shared - fixed-size chunks off a central queue (omp dynamic)
+//   guided         - decreasing chunks off a central queue (omp guided)
+//   dynamic_ws     - divide-and-conquer + randomized work stealing
+//                    (vanilla Cilk's cilk_for)
+//   hybrid         - the paper's contribution: static partitions + the XOR
+//                    claiming heuristic + work stealing inside partitions
+//
+// The body receives half-open chunks [begin, end); use for_each for a
+// per-index body.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "runtime/runtime.h"
+#include "sched/policy.h"
+#include "util/function_ref.h"
+
+namespace hls::trace {
+class loop_trace;
+}
+
+namespace hls {
+
+struct loop_options {
+  // Sequential grain of divide-and-conquer loops (dynamic_ws and inside
+  // hybrid partitions). 0 selects Cilk's default min(2048, ceil(N / 8P)).
+  std::int64_t grain = 0;
+
+  // Fixed chunk size for dynamic_shared. 0 selects the same formula as
+  // grain (the paper adjusts all platforms to one chunk size).
+  std::int64_t chunk = 0;
+
+  // Smallest chunk guided partitioning hands out.
+  std::int64_t min_chunk = 1;
+
+  // Hybrid partition count before rounding to a power of two. 0 selects the
+  // worker count P (the paper's common case, Corollary 6).
+  std::uint32_t partitions = 0;
+
+  // Optional execution trace (affinity / memsim experiments).
+  trace::loop_trace* trace = nullptr;
+
+  // Optional per-iteration work annotation (paper Section VI extension):
+  // when set, the hybrid policy's earmarked partitions equalize weight sums
+  // instead of iteration counts. Ignored by the other policies.
+  std::function<double(std::int64_t)> iteration_weight;
+};
+
+using chunk_body = function_ref<void(std::int64_t, std::int64_t)>;
+
+// Runs body over [begin, end) under the given policy. Must be called from a
+// thread bound to rt (the constructing thread or, for nested loops, a
+// worker executing a task). Blocks until every iteration has executed.
+void parallel_for(rt::runtime& rt, std::int64_t begin, std::int64_t end,
+                  policy pol, chunk_body body, const loop_options& opt = {});
+
+// Per-index convenience wrapper.
+template <typename F>
+void for_each(rt::runtime& rt, std::int64_t begin, std::int64_t end,
+              policy pol, F&& f, const loop_options& opt = {}) {
+  auto chunk = [&f](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) f(i);
+  };
+  parallel_for(rt, begin, end, pol, chunk, opt);
+}
+
+}  // namespace hls

@@ -1,0 +1,78 @@
+// Two-dimensional parallel loops via tiling.
+//
+// Dense-grid kernels (stencils, transforms) iterate rectangular index
+// spaces. parallel_for_2d tiles the rectangle and schedules the tile grid
+// through the 1-D parallel_for machinery, so every policy — including the
+// hybrid claim protocol — applies unchanged: under the hybrid policy each
+// earmarked partition is a contiguous run of tiles in row-major order,
+// which for iterative grid applications keeps the same sub-rectangles on
+// the same workers across time steps.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "sched/loop.h"
+
+namespace hls {
+
+struct loop2d_options {
+  // Tile shape; 0 picks a default that yields roughly 8 P tiles with the
+  // domain's aspect ratio (the 2-D analogue of the cilk_for grain).
+  std::int64_t tile_rows = 0;
+  std::int64_t tile_cols = 0;
+
+  // Forwarded to the underlying 1-D loop (grain fixed at one tile).
+  std::uint32_t partitions = 0;
+  trace::loop_trace* trace = nullptr;  // records tile indices
+};
+
+// body(row_begin, row_end, col_begin, col_end) is invoked once per tile.
+template <typename Body2D>
+void parallel_for_2d(rt::runtime& rt, std::int64_t rows, std::int64_t cols,
+                     policy pol, Body2D&& body,
+                     const loop2d_options& opt = {}) {
+  if (rows <= 0 || cols <= 0) return;
+  const double p = static_cast<double>(rt.num_workers());
+
+  std::int64_t tr = opt.tile_rows;
+  std::int64_t tc = opt.tile_cols;
+  if (tr <= 0 || tc <= 0) {
+    // ~8P tiles, aspect-matched: tiles_r/tiles_c ~ rows/cols.
+    const double target_tiles = 8.0 * p;
+    const double aspect = static_cast<double>(rows) / static_cast<double>(cols);
+    double tiles_r = std::sqrt(target_tiles * aspect);
+    double tiles_c = target_tiles / tiles_r;
+    if (tr <= 0) {
+      tr = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(
+                 std::ceil(static_cast<double>(rows) / std::max(1.0, tiles_r))));
+    }
+    if (tc <= 0) {
+      tc = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(
+                 std::ceil(static_cast<double>(cols) / std::max(1.0, tiles_c))));
+    }
+  }
+
+  const std::int64_t tiles_r = (rows + tr - 1) / tr;
+  const std::int64_t tiles_c = (cols + tc - 1) / tc;
+
+  loop_options lo;
+  lo.grain = 1;  // one tile per chunk: the tile IS the sequential unit
+  lo.partitions = opt.partitions;
+  lo.trace = opt.trace;
+
+  auto tile_body = [&](std::int64_t lo_t, std::int64_t hi_t) {
+    for (std::int64_t t = lo_t; t < hi_t; ++t) {
+      const std::int64_t trow = t / tiles_c;
+      const std::int64_t tcol = t % tiles_c;
+      const std::int64_t r0 = trow * tr;
+      const std::int64_t c0 = tcol * tc;
+      body(r0, std::min(rows, r0 + tr), c0, std::min(cols, c0 + tc));
+    }
+  };
+  parallel_for(rt, 0, tiles_r * tiles_c, pol, tile_body, lo);
+}
+
+}  // namespace hls

@@ -1,0 +1,85 @@
+#include "sched/loop.h"
+
+#include <algorithm>
+
+#include "sched/policies.h"
+#include "trace/loop_trace.h"
+#include "util/bits.h"
+
+namespace hls {
+
+void parallel_for(rt::runtime& rt, std::int64_t begin, std::int64_t end,
+                  policy pol, chunk_body body, const loop_options& opt) {
+  if (end <= begin) return;
+  rt::worker& me = rt.current_worker();
+  const std::int64_t n = end - begin;
+  const std::uint32_t p = rt.num_workers();
+
+  const std::int64_t grain =
+      opt.grain > 0 ? opt.grain : default_grain(n, p);
+
+  if (pol == policy::serial) {
+    body(begin, end);
+    if (opt.trace != nullptr) opt.trace->record(me.id(), begin, end);
+    return;
+  }
+
+  auto ctx = std::make_shared<sched::loop_ctx>(begin, end, body, grain,
+                                               opt.trace);
+
+  switch (pol) {
+    case policy::serial:
+      return;  // handled above; unreachable
+
+    case policy::dynamic_ws: {
+      // Vanilla cilk_for: pure divide-and-conquer from the caller's deque;
+      // idle workers join via random stealing only.
+      sched::ws_subtask::run_span(me, ctx, begin, end);
+      break;
+    }
+
+    case policy::static_part:
+    case policy::dynamic_shared:
+    case policy::guided:
+    case policy::hybrid: {
+      std::shared_ptr<rt::loop_record> rec;
+      if (pol == policy::static_part) {
+        rec = std::make_shared<sched::static_record>(ctx, p);
+      } else if (pol == policy::dynamic_shared) {
+        const std::int64_t chunk =
+            opt.chunk > 0 ? opt.chunk : default_grain(n, p);
+        rec = std::make_shared<sched::shared_queue_record>(ctx, chunk);
+      } else if (pol == policy::guided) {
+        rec = std::make_shared<sched::guided_record>(ctx, opt.min_chunk, p);
+      } else {
+        const std::uint32_t parts =
+            opt.partitions > 0 ? opt.partitions : p;
+        if (opt.iteration_weight) {
+          rec = std::make_shared<sched::hybrid_record>(ctx, parts,
+                                                       opt.iteration_weight);
+        } else {
+          rec = std::make_shared<sched::hybrid_record>(ctx, parts);
+        }
+      }
+      const int slot = rt.loop_board().post(rec);
+      rt.notify_work();
+      if (slot < 0 && pol == policy::static_part) {
+        // Board overflow: strict static needs every worker to arrive, which
+        // cannot be guaranteed without a slot. Degrade to executing the
+        // whole range on the posting worker (correctness over placement).
+        ctx->run_chunk(me.id(), begin, end);
+      } else {
+        rec->participate(me);
+      }
+      me.work_until([&] { return ctx->finished(); });
+      rt.loop_board().clear(slot);
+      ctx->rethrow_if_failed();
+      return;
+    }
+  }
+
+  me.work_until([&] { return ctx->finished(); });
+  ctx->rethrow_if_failed();
+}
+
+}  // namespace hls

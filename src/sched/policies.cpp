@@ -1,0 +1,178 @@
+#include "sched/policies.h"
+
+#include <algorithm>
+
+#include "core/claim.h"
+#include "runtime/worker.h"
+#include "trace/loop_trace.h"
+
+namespace hls::sched {
+
+void loop_ctx::run_chunk(std::uint32_t worker_id, std::int64_t lo,
+                         std::int64_t hi) {
+  if (lo >= hi) return;
+  if (!failed.load(std::memory_order_acquire)) {
+    try {
+      body(lo, hi);
+      if (trace != nullptr) trace->record(worker_id, lo, hi);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(error_mu);
+      if (!failed.load(std::memory_order_relaxed)) {
+        first_error = std::current_exception();
+        failed.store(true, std::memory_order_release);
+      }
+    }
+  }
+  // Retire the iterations even on failure/skip so the loop terminates.
+  remaining.fetch_sub(hi - lo, std::memory_order_acq_rel);
+}
+
+void loop_ctx::rethrow_if_failed() {
+  if (failed.load(std::memory_order_acquire)) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+void* ws_subtask::operator new(std::size_t bytes) {
+  rt::worker* w = rt::current_worker_or_null();
+  return rt::block_pool::allocate_sized(w != nullptr ? &w->pool() : nullptr,
+                                        bytes);
+}
+
+void ws_subtask::operator delete(void* p) noexcept {
+  rt::block_pool::deallocate(p);
+}
+
+void ws_subtask::execute(rt::worker& w) { run_span(w, ctx_, lo_, hi_); }
+
+void ws_subtask::run_span(rt::worker& w, const std::shared_ptr<loop_ctx>& ctx,
+                          std::int64_t lo, std::int64_t hi) {
+  while (hi - lo > ctx->grain) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    w.push(new ws_subtask(ctx, mid, hi));
+    hi = mid;
+  }
+  ctx->run_chunk(w.id(), lo, hi);
+}
+
+// ---------------------------------------------------------------- static
+
+static_record::static_record(std::shared_ptr<loop_ctx> ctx,
+                             std::uint32_t num_workers)
+    : ctx_(std::move(ctx)),
+      blocks_(num_workers == 0 ? 1 : num_workers),
+      taken_(new padded<std::atomic<std::uint8_t>>[blocks_]) {
+  for (std::uint32_t b = 0; b < blocks_; ++b) {
+    taken_[b].value.store(0, std::memory_order_relaxed);
+  }
+}
+
+bool static_record::participate(rt::worker& w) {
+  const std::uint32_t b = w.id();
+  if (b >= blocks_) return false;
+  if (taken_[b].value.exchange(1, std::memory_order_acq_rel) != 0) {
+    return false;
+  }
+  // Balanced block split, identical to the hybrid partitioning arithmetic.
+  const std::int64_t n = ctx_->end - ctx_->begin;
+  const std::int64_t base = n / blocks_;
+  const std::int64_t rem = n % blocks_;
+  const std::int64_t extra = std::min<std::int64_t>(b, rem);
+  const std::int64_t lo = ctx_->begin + static_cast<std::int64_t>(b) * base + extra;
+  const std::int64_t hi = lo + base + (b < static_cast<std::uint32_t>(rem) ? 1 : 0);
+  ctx_->run_chunk(b, lo, hi);
+  return true;
+}
+
+// --------------------------------------------------------- dynamic_shared
+
+shared_queue_record::shared_queue_record(std::shared_ptr<loop_ctx> ctx,
+                                         std::int64_t chunk)
+    : ctx_(std::move(ctx)),
+      chunk_(chunk < 1 ? 1 : chunk),
+      next_(ctx_->begin) {}
+
+bool shared_queue_record::participate(rt::worker& w) {
+  bool worked = false;
+  // Stay on the queue until it drains, like an OpenMP thread inside a
+  // `schedule(dynamic)` region.
+  while (next_.load(std::memory_order_relaxed) < ctx_->end) {
+    const std::int64_t lo = next_.fetch_add(chunk_, std::memory_order_acq_rel);
+    if (lo >= ctx_->end) break;
+    const std::int64_t hi = std::min(lo + chunk_, ctx_->end);
+    ctx_->run_chunk(w.id(), lo, hi);
+    worked = true;
+  }
+  return worked;
+}
+
+// ----------------------------------------------------------------- guided
+
+guided_record::guided_record(std::shared_ptr<loop_ctx> ctx,
+                             std::int64_t min_chunk, std::uint32_t num_workers)
+    : ctx_(std::move(ctx)),
+      min_chunk_(min_chunk < 1 ? 1 : min_chunk),
+      p_(num_workers == 0 ? 1 : num_workers),
+      next_(ctx_->begin) {}
+
+bool guided_record::participate(rt::worker& w) {
+  bool worked = false;
+  for (;;) {
+    std::int64_t lo = next_.load(std::memory_order_acquire);
+    std::int64_t hi;
+    do {
+      if (lo >= ctx_->end) return worked;
+      const std::int64_t rem = ctx_->end - lo;
+      const std::int64_t sz =
+          std::max(min_chunk_, rem / (2 * static_cast<std::int64_t>(p_)));
+      hi = std::min(lo + sz, ctx_->end);
+    } while (!next_.compare_exchange_weak(lo, hi, std::memory_order_acq_rel,
+                                          std::memory_order_acquire));
+    ctx_->run_chunk(w.id(), lo, hi);
+    worked = true;
+  }
+}
+
+// ----------------------------------------------------------------- hybrid
+
+hybrid_record::hybrid_record(std::shared_ptr<loop_ctx> ctx,
+                             std::uint32_t partitions)
+    : ctx_(std::move(ctx)), parts_(ctx_->begin, ctx_->end, partitions) {}
+
+hybrid_record::hybrid_record(std::shared_ptr<loop_ctx> ctx,
+                             std::uint32_t partitions,
+                             const std::function<double(std::int64_t)>& weight)
+    : ctx_(std::move(ctx)),
+      parts_(ctx_->begin, ctx_->end, partitions, weight) {}
+
+void hybrid_record::execute_partition(rt::worker& w, std::uint64_t r) {
+  const core::iter_range rg = parts_.range(r);
+  if (rg.empty()) return;
+  // doWork (paper Alg. 3 lines 11/17): an ordinary divide-and-conquer
+  // parallel loop over the partition, so stragglers inside a partition are
+  // balanced by random stealing...
+  ws_subtask::run_span(w, ctx_, rg.begin, rg.end);
+  // ...while the claiming worker finishes its local share depth-first
+  // before attempting the next claim, as continuation stealing would.
+  w.drain_local();
+}
+
+bool hybrid_record::participate(rt::worker& w) {
+  // DoHybridLoop steal protocol: a worker arriving at the loop first checks
+  // its designated starting partition r = w XOR 0; if that partition is
+  // claimed it reverts to ordinary randomized work stealing. When fewer
+  // partitions than workers are requested, worker IDs wrap modulo R.
+  const std::uint32_t weff =
+      w.id() & static_cast<std::uint32_t>(parts_.count() - 1);
+  if (parts_.is_claimed(core::claim_target(0, weff))) return false;
+
+  auto flags = parts_.flags();
+  const core::claim_stats st = core::run_claim_loop(
+      weff, parts_.count(), flags,
+      [&](std::uint64_t r, std::uint64_t /*index*/) {
+        execute_partition(w, r);
+      });
+  return st.successes > 0;
+}
+
+}  // namespace hls::sched

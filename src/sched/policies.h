@@ -1,0 +1,153 @@
+// Internal policy implementations behind parallel_for.
+//
+// Each work-sharing policy is a loop_record posted on the runtime's board;
+// dynamic_ws is pure deque work. Exposed in a header (rather than an
+// anonymous namespace) so the tests can exercise records directly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/partition_set.h"
+#include "runtime/board.h"
+#include "runtime/task.h"
+#include "sched/loop.h"
+#include "util/cacheline.h"
+
+namespace hls::sched {
+
+// State shared by every chunk of one parallel loop. Heap-allocated
+// (shared_ptr) because stolen subtasks and board visitors may hold
+// references until the last chunk retires.
+struct loop_ctx {
+  loop_ctx(std::int64_t b, std::int64_t e, chunk_body body_,
+           std::int64_t grain_, trace::loop_trace* trace_)
+      : begin(b), end(e), body(body_), grain(grain_), trace(trace_),
+        remaining(e - b) {}
+
+  const std::int64_t begin;
+  const std::int64_t end;
+  const chunk_body body;
+  const std::int64_t grain;
+  trace::loop_trace* const trace;
+  alignas(kCacheLine) std::atomic<std::int64_t> remaining;
+
+  // First exception thrown by any chunk body. Later chunks are skipped
+  // (their iterations still retire, so the loop completes and the posting
+  // worker can rethrow).
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  bool finished() const noexcept {
+    return remaining.load(std::memory_order_acquire) <= 0;
+  }
+
+  // Rethrows the first captured body exception, if any. Called by the
+  // posting worker after the loop completes.
+  void rethrow_if_failed();
+
+  // Runs body on [lo, hi), records the trace, then retires the iterations.
+  // The retire is last: once remaining hits 0 the posting thread may return
+  // and the body callable may die, so nothing may touch `body` afterwards.
+  void run_chunk(std::uint32_t worker_id, std::int64_t lo, std::int64_t hi);
+};
+
+// Divide-and-conquer subtask used by dynamic_ws and inside hybrid
+// partitions: splits in half, pushing upper halves for thieves, until the
+// range reaches the grain, then runs the body.
+class ws_subtask final : public rt::task {
+ public:
+  ws_subtask(std::shared_ptr<loop_ctx> ctx, std::int64_t lo, std::int64_t hi)
+      : ctx_(std::move(ctx)), lo_(lo), hi_(hi) {}
+
+  // Subtasks are allocated once per exposed chunk on the scheduling hot
+  // path: use the executing worker's block pool. Frees may happen on the
+  // thief's thread; block_pool routes them back to the owner.
+  static void* operator new(std::size_t bytes);
+  static void operator delete(void* p) noexcept;
+
+  void execute(rt::worker& w) override;
+
+  // The splitting loop itself, callable without a heap-allocated task (the
+  // root call and hybrid partition execution run it in place).
+  static void run_span(rt::worker& w, const std::shared_ptr<loop_ctx>& ctx,
+                       std::int64_t lo, std::int64_t hi);
+
+ private:
+  std::shared_ptr<loop_ctx> ctx_;
+  std::int64_t lo_;
+  std::int64_t hi_;
+};
+
+// Strict static partitioning: block k is executed serially by worker k and
+// nobody else (omp static semantics).
+class static_record final : public rt::loop_record {
+ public:
+  static_record(std::shared_ptr<loop_ctx> ctx, std::uint32_t num_workers);
+  bool participate(rt::worker& w) override;
+  bool finished() const noexcept override { return ctx_->finished(); }
+
+ private:
+  std::shared_ptr<loop_ctx> ctx_;
+  std::uint32_t blocks_;
+  std::unique_ptr<padded<std::atomic<std::uint8_t>>[]> taken_;
+};
+
+// Central queue of fixed-size chunks (omp dynamic semantics).
+class shared_queue_record final : public rt::loop_record {
+ public:
+  shared_queue_record(std::shared_ptr<loop_ctx> ctx, std::int64_t chunk);
+  bool participate(rt::worker& w) override;
+  bool finished() const noexcept override { return ctx_->finished(); }
+
+ private:
+  std::shared_ptr<loop_ctx> ctx_;
+  const std::int64_t chunk_;
+  alignas(kCacheLine) std::atomic<std::int64_t> next_;
+};
+
+// Central queue of decreasing chunks (omp guided semantics):
+// chunk = max(min_chunk, remaining / (2 P)).
+class guided_record final : public rt::loop_record {
+ public:
+  guided_record(std::shared_ptr<loop_ctx> ctx, std::int64_t min_chunk,
+                std::uint32_t num_workers);
+  bool participate(rt::worker& w) override;
+  bool finished() const noexcept override { return ctx_->finished(); }
+
+ private:
+  std::shared_ptr<loop_ctx> ctx_;
+  const std::int64_t min_chunk_;
+  const std::uint32_t p_;
+  alignas(kCacheLine) std::atomic<std::int64_t> next_;
+};
+
+// The hybrid loop (paper Section III). participate() implements the
+// DoHybridLoop steal protocol: check the arriving worker's designated
+// partition; if unclaimed, run the claim loop under the worker's own ID,
+// executing each claimed partition as a stealable divide-and-conquer span.
+class hybrid_record final : public rt::loop_record {
+ public:
+  hybrid_record(std::shared_ptr<loop_ctx> ctx, std::uint32_t partitions);
+
+  // Weighted initial partitioning (loop_options::iteration_weight).
+  hybrid_record(std::shared_ptr<loop_ctx> ctx, std::uint32_t partitions,
+                const std::function<double(std::int64_t)>& weight);
+  bool participate(rt::worker& w) override;
+  bool finished() const noexcept override { return ctx_->finished(); }
+
+  const core::partition_set& partitions() const noexcept { return parts_; }
+
+ private:
+  void execute_partition(rt::worker& w, std::uint64_t r);
+
+  std::shared_ptr<loop_ctx> ctx_;
+  core::partition_set parts_;
+};
+
+}  // namespace hls::sched

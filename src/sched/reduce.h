@@ -1,0 +1,62 @@
+// Parallel reductions over parallel_for.
+//
+// Cilk programs use reducer hyperobjects; this is the loop-scoped
+// equivalent: each worker accumulates into its own cache-line-padded lane,
+// and the lanes are combined in worker-id order after the loop. No locks,
+// no atomics on the hot path. The combine order is fixed (lane 0..P-1), so
+// results are deterministic whenever the iteration->worker mapping is
+// (serial, static, and balanced hybrid schedules); for dynamic schedules
+// only the partitioning of the fold varies, which for floating-point sums
+// means ulp-level variation, as in any task-parallel reduction.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "sched/loop.h"
+#include "util/cacheline.h"
+
+namespace hls {
+
+// chunk_fn: T(std::int64_t lo, std::int64_t hi) — value of one chunk.
+// combine:  T(T, T) — associative combiner with `identity` as identity.
+template <typename T, typename ChunkFn, typename Combine>
+T parallel_reduce(rt::runtime& rt, std::int64_t begin, std::int64_t end,
+                  policy pol, T identity, ChunkFn&& chunk_fn,
+                  Combine&& combine, const loop_options& opt = {}) {
+  const std::uint32_t p = rt.num_workers();
+  std::vector<padded<T>> lanes(p, padded<T>(identity));
+
+  auto body = [&](std::int64_t lo, std::int64_t hi) {
+    // Evaluate the chunk BEFORE touching the lane: if chunk_fn runs nested
+    // parallel loops, this worker may execute other chunks of this very
+    // reduction while blocked inside them, and a read-modify-write spanning
+    // that suspension would lose updates.
+    T v = chunk_fn(lo, hi);
+    T& lane = lanes[rt.current_worker().id()].value;
+    lane = combine(std::move(lane), std::move(v));
+  };
+  parallel_for(rt, begin, end, pol, body, opt);
+
+  T result = std::move(identity);
+  for (std::uint32_t w = 0; w < p; ++w) {
+    result = combine(std::move(result), std::move(lanes[w].value));
+  }
+  return result;
+}
+
+// Common case: sum of a per-index value.
+template <typename T, typename F>
+T parallel_sum(rt::runtime& rt, std::int64_t begin, std::int64_t end,
+               policy pol, F&& per_index, const loop_options& opt = {}) {
+  return parallel_reduce(
+      rt, begin, end, pol, T{},
+      [&per_index](std::int64_t lo, std::int64_t hi) {
+        T acc{};
+        for (std::int64_t i = lo; i < hi; ++i) acc += per_index(i);
+        return acc;
+      },
+      [](T a, T b) { return a + b; }, opt);
+}
+
+}  // namespace hls

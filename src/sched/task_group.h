@@ -1,0 +1,110 @@
+// General fork-join task parallelism: the spawn/sync substrate of a
+// Cilk-style platform (paper Section II), on which the loop schedulers sit.
+//
+//   hls::task_group tg(rt);
+//   tg.spawn([&] { left = fib(n - 1); });
+//   tg.spawn([&] { right = fib(n - 2); });
+//   tg.wait();   // blocking join: the waiting worker keeps executing tasks
+//
+// spawn() pushes a task on the calling worker's deque (stealable by
+// thieves); wait() is a help-first join — the worker pops local work and
+// steals until every spawned task of this group has finished, so nested
+// groups cannot deadlock. Exceptions from spawned callables are captured
+// and the first one rethrown from wait().
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <utility>
+
+#include "runtime/runtime.h"
+#include "runtime/task.h"
+
+namespace hls {
+
+class task_group {
+ public:
+  explicit task_group(rt::runtime& rt) : rt_(rt) {}
+
+  ~task_group() {
+    try {
+      wait();
+    } catch (...) {
+      // A destructor must not throw; an unconsumed task exception is
+      // dropped here. Call wait() explicitly to observe it.
+    }
+  }
+
+  task_group(const task_group&) = delete;
+  task_group& operator=(const task_group&) = delete;
+
+  // Spawns fn to run potentially in parallel with the continuation. Must be
+  // called from a worker thread of the runtime (the spawning worker's deque
+  // receives the task). fn is copied/moved into the task.
+  template <typename F>
+  void spawn(F&& fn) {
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    rt::worker& w = rt_.current_worker();
+    w.push(new spawned_task<std::decay_t<F>>(this, std::forward<F>(fn)));
+  }
+
+  // Blocks until all spawned tasks have completed, helping execute work.
+  // Rethrows the first captured exception. Idempotent.
+  void wait() {
+    rt::worker& w = rt_.current_worker();
+    w.work_until([this] {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
+    if (failed_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lk(error_mu_);
+      if (first_error_) {
+        std::exception_ptr e = first_error_;
+        first_error_ = nullptr;
+        failed_.store(false, std::memory_order_release);
+        std::rethrow_exception(e);
+      }
+    }
+  }
+
+  std::int64_t pending() const noexcept {
+    return pending_.load(std::memory_order_acquire);
+  }
+
+ private:
+  template <typename F>
+  class spawned_task final : public rt::task {
+   public:
+    spawned_task(task_group* group, F fn)
+        : group_(group), fn_(std::move(fn)) {}
+
+    void execute(rt::worker&) override {
+      try {
+        fn_();
+      } catch (...) {
+        group_->capture_exception(std::current_exception());
+      }
+      group_->pending_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+
+   private:
+    task_group* group_;
+    F fn_;
+  };
+
+  void capture_exception(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lk(error_mu_);
+    if (!first_error_) {
+      first_error_ = std::move(e);
+      failed_.store(true, std::memory_order_release);
+    }
+  }
+
+  rt::runtime& rt_;
+  std::atomic<std::int64_t> pending_{0};
+  std::atomic<bool> failed_{false};
+  std::exception_ptr first_error_;
+  std::mutex error_mu_;
+};
+
+}  // namespace hls

@@ -1,0 +1,120 @@
+#include "sim/locality_model.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+
+namespace hls::sim {
+
+access_counts& access_counts::operator+=(const access_counts& o) noexcept {
+  l1 += o.l1;
+  l2 += o.l2;
+  l3 += o.l3;
+  dram_local += o.dram_local;
+  remote_l3 += o.remote_l3;
+  dram_remote += o.dram_remote;
+  return *this;
+}
+
+double access_counts::inferred_latency_ns(const machine_desc& m,
+                                          bool include_l1) const noexcept {
+  double lat = l2 * m.lat_l2 + l3 * m.lat_l3 + dram_local * m.lat_dram_local +
+               remote_l3 * m.lat_remote_l3 + dram_remote * m.lat_dram_remote;
+  if (include_l1) lat += l1 * m.lat_l1;
+  return lat;
+}
+
+locality_model::locality_model(const machine_desc& m, const workload_spec& w,
+                               std::uint32_t p_used)
+    : m_(m), p_used_(p_used == 0 ? 1 : p_used) {
+  per_core_bytes_ = w.total_bytes / p_used_;
+  per_socket_bytes_ = w.total_bytes / m_.sockets_used(p_used_);
+  l2_fit_ = per_core_bytes_ == 0
+                ? 1.0
+                : std::min(1.0, static_cast<double>(m_.l2_bytes) /
+                                    static_cast<double>(per_core_bytes_));
+  l3_fit_ = per_socket_bytes_ == 0
+                ? 1.0
+                : std::min(1.0, static_cast<double>(m_.l3_bytes) /
+                                    static_cast<double>(per_socket_bytes_));
+
+  const std::size_t regions =
+      static_cast<std::size_t>(w.region_count > 0 ? w.region_count : 1);
+  last_core_.assign(regions, -1);
+  // NUMA-aware first touch: region r is homed where the initial static
+  // distribution places it (paper: "NUMA-aware memory allocation to
+  // distribute the data across sockets").
+  home_.resize(regions);
+  for (std::size_t r = 0; r < regions; ++r) {
+    const std::uint32_t owner = static_cast<std::uint32_t>(
+        r * p_used_ / regions);  // balanced static block owner
+    home_[r] = m_.socket_of(owner);
+  }
+}
+
+double locality_model::access_ns(const loop_spec& loop, std::int64_t i,
+                                 std::uint32_t core) {
+  const std::uint64_t bytes = loop.region_bytes(i);
+  if (bytes == 0) return 0.0;
+  const auto r = static_cast<std::size_t>(loop.region(i));
+  const double lines = static_cast<double>(
+      ceil_div(bytes, m_.line_bytes));
+
+  const std::uint32_t socket = m_.socket_of(core);
+  const std::int32_t last = last_core_[r];
+  last_core_[r] = static_cast<std::int32_t>(core);
+
+  // Throughput-effective latencies for the long-latency levels (see
+  // machine_desc::mlp_long); counts stay unscaled.
+  const double mlp = m_.mlp_long < 1.0 ? 1.0 : m_.mlp_long;
+  const double eff_dram_local = m_.lat_dram_local / mlp;
+  const double eff_dram_remote = m_.lat_dram_remote / mlp;
+  const double eff_remote_l3 = m_.lat_remote_l3 / mlp;
+
+  double ns;
+  if (last == static_cast<std::int32_t>(core)) {
+    // Re-touch by the same core: L2 to the extent the per-core footprint
+    // fits, spilling to the socket L3, then to home DRAM.
+    const double l2_lines = lines * l2_fit_;
+    const double l3_lines = (lines - l2_lines) * l3_fit_;
+    const double dram_lines = lines - l2_lines - l3_lines;
+    const double dram_lat =
+        home_[r] == socket ? eff_dram_local : eff_dram_remote;
+    counts_.l2 += l2_lines;
+    counts_.l3 += l3_lines;
+    (home_[r] == socket ? counts_.dram_local : counts_.dram_remote) +=
+        dram_lines;
+    ns = l2_lines * m_.lat_l2 + l3_lines * m_.lat_l3 + dram_lines * dram_lat;
+  } else if (last >= 0 &&
+             m_.socket_of(static_cast<std::uint32_t>(last)) == socket) {
+    // Same socket, different core: shared L3 to the extent it fits.
+    const double l3_lines = lines * l3_fit_;
+    const double dram_lines = lines - l3_lines;
+    const double dram_lat =
+        home_[r] == socket ? eff_dram_local : eff_dram_remote;
+    counts_.l3 += l3_lines;
+    (home_[r] == socket ? counts_.dram_local : counts_.dram_remote) +=
+        dram_lines;
+    ns = l3_lines * m_.lat_l3 + dram_lines * dram_lat;
+  } else if (last >= 0) {
+    // Cross-socket migration: lines still cached remotely are serviced from
+    // the remote L3; the rest from DRAM at the region's home.
+    const double rl3_lines = lines * l3_fit_;
+    const double dram_lines = lines - rl3_lines;
+    const double dram_lat =
+        home_[r] == socket ? eff_dram_local : eff_dram_remote;
+    counts_.remote_l3 += rl3_lines;
+    (home_[r] == socket ? counts_.dram_local : counts_.dram_remote) +=
+        dram_lines;
+    ns = rl3_lines * eff_remote_l3 + dram_lines * dram_lat;
+  } else {
+    // Cold: all lines from the region's home DRAM.
+    const double dram_lat =
+        home_[r] == socket ? eff_dram_local : eff_dram_remote;
+    (home_[r] == socket ? counts_.dram_local : counts_.dram_remote) += lines;
+    ns = lines * dram_lat;
+  }
+  return ns;
+}
+
+}  // namespace hls::sim

@@ -1,0 +1,76 @@
+// Region-level NUMA locality model for the discrete-event simulator.
+//
+// Tracks, per data region, the last core that touched it, and prices an
+// access by where the region can still reside:
+//
+//   same core, per-core footprint fits L2            -> L2
+//   same socket, per-socket footprint fits L3        -> L3 (capacity-blended)
+//   other socket, fits that socket's L3              -> remote L3
+//   otherwise                                        -> DRAM, local or remote
+//                                                       by the region's NUMA
+//                                                       home (first touch)
+//
+// Capacity blending: when a footprint exceeds a cache level, the hit
+// fraction degrades proportionally (min(1, capacity/footprint)) instead of
+// falling off a cliff, which reproduces the paper's gradual degradation
+// between the "at L3 capacity" and "above L3 capacity" working sets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.h"
+#include "sim/workload.h"
+
+namespace hls::sim {
+
+// Per-level access tally (the Fig. 4 quantities, region-granular flavour).
+struct access_counts {
+  double l1 = 0, l2 = 0, l3 = 0;
+  double dram_local = 0, remote_l3 = 0, dram_remote = 0;
+
+  access_counts& operator+=(const access_counts& o) noexcept;
+  double total() const noexcept {
+    return l1 + l2 + l3 + dram_local + remote_l3 + dram_remote;
+  }
+  // Inferred aggregate latency, Fig. 4 last column style.
+  double inferred_latency_ns(const machine_desc& m,
+                             bool include_l1 = false) const noexcept;
+};
+
+class locality_model {
+ public:
+  // p_used: workers participating (for per-core/per-socket footprints).
+  locality_model(const machine_desc& m, const workload_spec& w,
+                 std::uint32_t p_used);
+
+  // Cost in ns for iteration i of `loop` executing on `core`; updates the
+  // region ownership and the access counters.
+  double access_ns(const loop_spec& loop, std::int64_t i, std::uint32_t core);
+
+  const access_counts& counts() const noexcept { return counts_; }
+  void reset_counts() noexcept { counts_ = access_counts{}; }
+
+  // NUMA home socket of region r (first-touch under the initial static
+  // distribution, as the paper's NUMA-aware allocation does).
+  std::uint32_t home_socket(std::int64_t r) const noexcept {
+    return home_[static_cast<std::size_t>(r)];
+  }
+
+  std::int32_t last_core(std::int64_t r) const noexcept {
+    return last_core_[static_cast<std::size_t>(r)];
+  }
+
+ private:
+  const machine_desc& m_;
+  std::uint32_t p_used_;
+  std::uint64_t per_core_bytes_;
+  std::uint64_t per_socket_bytes_;
+  double l2_fit_;  // fraction of the per-core footprint L2 retains
+  double l3_fit_;  // fraction of the per-socket footprint L3 retains
+  std::vector<std::int32_t> last_core_;
+  std::vector<std::uint32_t> home_;
+  access_counts counts_;
+};
+
+}  // namespace hls::sim

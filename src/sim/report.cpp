@@ -1,0 +1,32 @@
+#include "sim/report.h"
+
+namespace hls::sim {
+
+sweep_result sweep_workers(const machine_desc& base, const workload_spec& w,
+                           policy pol, std::span<const std::uint32_t> workers,
+                           std::uint64_t seed) {
+  sweep_result out;
+  out.pol = pol;
+  out.ts_ns = simulate_serial(base, w);
+
+  sim_options opt;
+  opt.seed = seed;
+  out.t1_ns = simulate(base.with_workers(1), w, pol, opt).makespan_ns;
+  out.work_efficiency = out.t1_ns > 0 ? out.ts_ns / out.t1_ns : 0.0;
+
+  for (std::uint32_t p : workers) {
+    const sim_result r = simulate(base.with_workers(p), w, pol, opt);
+    sweep_point pt;
+    pt.p = p;
+    pt.tp_ns = r.makespan_ns;
+    pt.scalability = r.makespan_ns > 0 ? out.t1_ns / r.makespan_ns : 0.0;
+    pt.speedup = r.makespan_ns > 0 ? out.ts_ns / r.makespan_ns : 0.0;
+    pt.affinity = r.affinity;
+    pt.steals = r.steals;
+    pt.failed_claims = r.failed_claims;
+    out.points.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace hls::sim

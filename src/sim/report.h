@@ -1,0 +1,39 @@
+// Scalability sweeps: the quantities plotted in the paper's Figs. 1 and 3.
+//
+// For each policy the paper reports work efficiency Ts/T1 (one column) and
+// scalability T1/TP across worker counts. Ts is the serial elision; T1 is
+// the one-worker run under the policy (including scheduling overhead).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sched/policy.h"
+#include "sim/engine.h"
+
+namespace hls::sim {
+
+struct sweep_point {
+  std::uint32_t p = 0;
+  double tp_ns = 0;
+  double scalability = 0;  // T1 / TP  (Fig. 1's y-axis)
+  double speedup = 0;      // Ts / TP  (Fig. 3's y-axis)
+  double affinity = 0;     // Fig. 2 metric at this P
+  std::uint64_t steals = 0;
+  std::uint64_t failed_claims = 0;
+};
+
+struct sweep_result {
+  policy pol{};
+  double ts_ns = 0;
+  double t1_ns = 0;
+  double work_efficiency = 0;  // Ts / T1
+  std::vector<sweep_point> points;
+};
+
+sweep_result sweep_workers(const machine_desc& base, const workload_spec& w,
+                           policy pol, std::span<const std::uint32_t> workers,
+                           std::uint64_t seed = 12345);
+
+}  // namespace hls::sim

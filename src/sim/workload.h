@@ -1,0 +1,68 @@
+// Workload description consumed by the discrete-event simulator.
+//
+// An iterative application is a sequence of parallel loops separated by
+// short serial sections (the structure of the paper's microbenchmarks and
+// of the NAS kernels). Each loop gives per-iteration compute cost and the
+// size of the private data region the iteration touches; the locality model
+// turns region reuse into memory latency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace hls::sim {
+
+struct loop_spec {
+  std::int64_t n = 0;  // iteration count
+
+  // Pure compute (non-memory) cost of iteration i, ns.
+  std::function<double(std::int64_t)> cpu_ns;
+
+  // Bytes of this iteration's private data region (paper microbenchmarks:
+  // disjoint array slices walked with stride 13).
+  std::function<std::uint64_t(std::int64_t)> bytes;
+
+  // Region identity: iterations with the same region id share data. For the
+  // microbenchmarks this is the iteration index itself. Defaults to i.
+  std::function<std::int64_t(std::int64_t)> region_of;
+
+  // Optional per-iteration work annotation for the hybrid policy's
+  // weighted initial partitioning (paper Section VI extension).
+  std::function<double(std::int64_t)> iteration_weight;
+
+  // Scheduling parameters; 0 = the platform default (min(2048, N/8P)).
+  std::int64_t grain = 0;
+  std::int64_t chunk = 0;
+  std::int64_t min_chunk = 1;
+  std::uint32_t partitions = 0;
+
+  std::int64_t region(std::int64_t i) const {
+    return region_of ? region_of(i) : i;
+  }
+  double cpu(std::int64_t i) const { return cpu_ns ? cpu_ns(i) : 0.0; }
+  std::uint64_t region_bytes(std::int64_t i) const {
+    return bytes ? bytes(i) : 0;
+  }
+};
+
+struct workload_spec {
+  std::string name;
+
+  // The loop body sequence of ONE outer (time-step) iteration.
+  std::vector<loop_spec> loops;
+
+  // Number of outer iterations (repetitions of `loops`). Iterative
+  // applications repeat the same loops over the same data, which is what
+  // static/hybrid affinity exploits.
+  int outer_iterations = 1;
+
+  // Total bytes of the data the loops traverse (the working set).
+  std::uint64_t total_bytes = 0;
+
+  // Number of distinct regions (>= max region id + 1 across loops).
+  std::int64_t region_count = 0;
+};
+
+}  // namespace hls::sim

@@ -1,0 +1,35 @@
+#include "trace/affinity.h"
+
+namespace hls::trace {
+
+double same_owner_fraction(std::span<const std::uint32_t> a,
+                           std::span<const std::uint32_t> b) {
+  if (a.empty() || a.size() != b.size()) return 0.0;
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++same;
+  }
+  return static_cast<double>(same) / static_cast<double>(a.size());
+}
+
+void affinity_meter::observe(std::vector<std::uint32_t> owners) {
+  if (has_prev_ && prev_.size() == owners.size()) {
+    sum_ += same_owner_fraction(prev_, owners);
+    ++pairs_;
+  }
+  prev_ = std::move(owners);
+  has_prev_ = true;
+}
+
+double affinity_meter::average() const noexcept {
+  return pairs_ == 0 ? 0.0 : sum_ / static_cast<double>(pairs_);
+}
+
+void affinity_meter::reset() {
+  prev_.clear();
+  has_prev_ = false;
+  sum_ = 0.0;
+  pairs_ = 0;
+}
+
+}  // namespace hls::trace

@@ -1,0 +1,40 @@
+// Loop-affinity measurement (paper Fig. 2).
+//
+// For an iterative application running a sequence of parallel loops over the
+// same index space, measures the percentage of iterations executed by the
+// same worker in consecutive loop instances.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hls::trace {
+
+// Fraction of positions i with a[i] == b[i] (both valid owners).
+// Sizes must match; returns 0 for empty inputs.
+double same_owner_fraction(std::span<const std::uint32_t> a,
+                           std::span<const std::uint32_t> b);
+
+// Accumulates the Fig. 2 metric across a sequence of loop instances: the
+// average same-owner fraction over consecutive pairs.
+class affinity_meter {
+ public:
+  void observe(std::vector<std::uint32_t> owners);
+
+  // Average over all consecutive pairs observed so far; 0 if fewer than two
+  // loops were observed.
+  double average() const noexcept;
+
+  std::size_t pairs() const noexcept { return pairs_; }
+
+  void reset();
+
+ private:
+  std::vector<std::uint32_t> prev_;
+  bool has_prev_ = false;
+  double sum_ = 0.0;
+  std::size_t pairs_ = 0;
+};
+
+}  // namespace hls::trace

@@ -1,0 +1,62 @@
+#include "trace/loop_trace.h"
+
+#include <algorithm>
+
+namespace hls::trace {
+
+loop_trace::loop_trace(std::uint32_t num_workers)
+    : per_worker_(num_workers) {}
+
+void loop_trace::record(std::uint32_t worker, std::int64_t begin,
+                        std::int64_t end) {
+  const std::uint64_t s = seq_.fetch_add(1, std::memory_order_relaxed);
+  per_worker_[worker].push_back(chunk_rec{begin, end, worker, s});
+}
+
+std::vector<chunk_rec> loop_trace::sorted_by_seq() const {
+  std::vector<chunk_rec> all;
+  all.reserve(chunk_count());
+  for (const auto& buf : per_worker_) {
+    all.insert(all.end(), buf.begin(), buf.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const chunk_rec& a, const chunk_rec& b) { return a.seq < b.seq; });
+  return all;
+}
+
+std::vector<std::uint32_t> loop_trace::iteration_owners(
+    std::int64_t begin, std::int64_t end) const {
+  std::vector<std::uint32_t> owners(
+      static_cast<std::size_t>(end > begin ? end - begin : 0), kNoOwner);
+  for (const auto& buf : per_worker_) {
+    for (const auto& c : buf) {
+      const std::int64_t lo = std::max(c.begin, begin);
+      const std::int64_t hi = std::min(c.end, end);
+      for (std::int64_t i = lo; i < hi; ++i) {
+        owners[static_cast<std::size_t>(i - begin)] = c.worker;
+      }
+    }
+  }
+  return owners;
+}
+
+std::int64_t loop_trace::total_iterations() const {
+  std::int64_t total = 0;
+  for (const auto& buf : per_worker_) {
+    for (const auto& c : buf) total += c.end - c.begin;
+  }
+  return total;
+}
+
+std::size_t loop_trace::chunk_count() const {
+  std::size_t n = 0;
+  for (const auto& buf : per_worker_) n += buf.size();
+  return n;
+}
+
+void loop_trace::clear() {
+  for (auto& buf : per_worker_) buf.clear();
+  seq_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace hls::trace

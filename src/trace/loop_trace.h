@@ -1,0 +1,59 @@
+// Loop execution tracing: which worker executed which chunk, in what order.
+//
+// The affinity experiment (paper Fig. 2) needs the iteration -> worker map
+// of consecutive parallel loops; the memory-hierarchy simulator (Fig. 4)
+// replays chunks in global execution order. Recording uses per-worker
+// buffers (no locks) plus one global sequence counter.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace hls::trace {
+
+struct chunk_rec {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;       // exclusive
+  std::uint32_t worker = 0;
+  std::uint64_t seq = 0;      // global execution order
+};
+
+class loop_trace {
+ public:
+  explicit loop_trace(std::uint32_t num_workers);
+
+  // Thread-safe for concurrent calls from distinct workers.
+  void record(std::uint32_t worker, std::int64_t begin, std::int64_t end);
+
+  std::uint32_t num_workers() const noexcept {
+    return static_cast<std::uint32_t>(per_worker_.size());
+  }
+
+  const std::vector<chunk_rec>& of_worker(std::uint32_t w) const {
+    return per_worker_[w];
+  }
+
+  // All chunks, ordered by global execution sequence.
+  std::vector<chunk_rec> sorted_by_seq() const;
+
+  // Expands chunks into a per-iteration owner map over [begin, end).
+  // Iterations never executed (a bug) are left as kNoOwner.
+  static constexpr std::uint32_t kNoOwner = ~0u;
+  std::vector<std::uint32_t> iteration_owners(std::int64_t begin,
+                                              std::int64_t end) const;
+
+  // Total iterations recorded (sum of chunk sizes).
+  std::int64_t total_iterations() const;
+
+  std::size_t chunk_count() const;
+
+  // Resets for the next loop instance, keeping buffers allocated.
+  void clear();
+
+ private:
+  std::vector<std::vector<chunk_rec>> per_worker_;
+  std::atomic<std::uint64_t> seq_{0};
+};
+
+}  // namespace hls::trace

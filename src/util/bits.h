@@ -1,0 +1,42 @@
+// Bit-manipulation helpers used throughout the scheduler.
+//
+// The hybrid claiming heuristic (paper Algorithms 2-3) is built from three
+// primitives: rounding the partition count up to a power of two, XOR index
+// mapping, and advancing an index by its least-significant set bit.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace hls {
+
+// Smallest power of two >= x (x == 0 yields 1).
+constexpr std::uint64_t next_pow2(std::uint64_t x) noexcept {
+  return x <= 1 ? 1 : std::bit_ceil(x);
+}
+
+constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && std::has_single_bit(x);
+}
+
+// Value of the least-significant set bit of x; 0 for x == 0.
+// Paper Algorithm 3 line 20: `i <- i + (i & -i)`.
+constexpr std::uint64_t lsb(std::uint64_t x) noexcept {
+  return x & (~x + 1);
+}
+
+// floor(log2(x)); requires x > 0.
+constexpr unsigned ilog2(std::uint64_t x) noexcept {
+  return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+// ceil(log2(x)); requires x > 0. lg R in the paper's Lemma 4 bound.
+constexpr unsigned ceil_log2(std::uint64_t x) noexcept {
+  return x <= 1 ? 0u : ilog2(x - 1) + 1u;
+}
+
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+}  // namespace hls

@@ -1,0 +1,63 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace hls {
+
+cli::cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        flags_[arg.substr(2)] = "true";
+      } else {
+        flags_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(std::move(arg));
+    }
+  }
+}
+
+bool cli::has(const std::string& key) const { return flags_.count(key) > 0; }
+
+std::string cli::get(const std::string& key, const std::string& def) const {
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? def : it->second;
+}
+
+std::int64_t cli::get_int(const std::string& key, std::int64_t def) const {
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double cli::get_double(const std::string& key, double def) const {
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool cli::get_bool(const std::string& key, bool def) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return def;
+  return it->second != "false" && it->second != "0";
+}
+
+std::vector<std::int64_t> cli::get_int_list(
+    const std::string& key, std::vector<std::int64_t> def) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return def;
+  std::vector<std::int64_t> out;
+  const std::string& s = it->second;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    auto comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(std::strtoll(s.substr(pos, comma - pos).c_str(), nullptr, 10));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace hls

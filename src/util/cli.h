@@ -1,0 +1,32 @@
+// Minimal --key=value flag parsing shared by benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hls {
+
+class cli {
+ public:
+  cli(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  // Comma-separated integer list, e.g. --workers=1,2,4,8.
+  std::vector<std::int64_t> get_int_list(
+      const std::string& key, std::vector<std::int64_t> def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hls

@@ -1,0 +1,56 @@
+// Non-owning callable reference (a lightweight std::function_ref stand-in).
+//
+// Loop bodies are passed by reference into the scheduler: the caller of
+// parallel_for blocks until the loop completes, so the referenced callable
+// always outlives its uses. This avoids a heap allocation per loop.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace hls {
+
+template <typename Signature>
+class function_ref;
+
+template <typename R, typename... Args>
+class function_ref<R(Args...)> {
+ public:
+  function_ref() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, function_ref> &&
+             std::is_invocable_r_v<R, F&, Args...> &&
+             !std::is_function_v<std::remove_reference_t<F>>)
+  function_ref(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  // Free functions: store the function pointer itself. The function
+  // pointer <-> void* round trip is conditionally-supported and valid on
+  // every platform this library targets (POSIX requires it).
+  template <typename F>
+    requires(std::is_function_v<std::remove_reference_t<F>> &&
+             std::is_invocable_r_v<R, F&, Args...>)
+  function_ref(F& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(reinterpret_cast<void*>(&f)),
+        call_([](void* obj, Args... args) -> R {
+          return (reinterpret_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const noexcept { return call_ != nullptr; }
+
+ private:
+  void* obj_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
+
+}  // namespace hls

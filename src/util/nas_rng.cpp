@@ -1,0 +1,56 @@
+#include "util/nas_rng.h"
+
+namespace hls::nas {
+
+namespace {
+
+// Splits x (< 2^46, integral) into high/low 23-bit halves as doubles.
+inline void split46(double x, double& hi, double& lo) noexcept {
+  hi = static_cast<double>(static_cast<std::int64_t>(kR23 * x));
+  lo = x - kT23 * hi;
+}
+
+// One LCG step: returns a*x mod 2^46 using exact double arithmetic on
+// 23-bit halves (the classic NPB trick; every intermediate fits in 52 bits).
+inline double lcg_step(double x, double a) noexcept {
+  double a1, a2, x1, x2;
+  split46(a, a1, a2);
+  split46(x, x1, x2);
+  const double t1 = a1 * x2 + a2 * x1;
+  const double t2 = static_cast<double>(static_cast<std::int64_t>(kR23 * t1));
+  const double z = t1 - kT23 * t2;
+  const double t3 = kT23 * z + a2 * x2;
+  const double t4 = static_cast<double>(static_cast<std::int64_t>(kR46 * t3));
+  return t3 - kT46 * t4;
+}
+
+}  // namespace
+
+double randlc(double* x, double a) noexcept {
+  *x = lcg_step(*x, a);
+  return kR46 * *x;
+}
+
+void vranlc(int n, double* x, double a, double* y) noexcept {
+  for (int i = 0; i < n; ++i) y[i] = randlc(x, a);
+}
+
+double ipow46(double a, int exponent_base2) noexcept {
+  double result = a;
+  for (int i = 0; i < exponent_base2; ++i) result = lcg_step(result, result);
+  // After k squarings result = a^(2^k) mod 2^46.
+  return result;
+}
+
+double skip_ahead(double seed, double a, std::uint64_t n) noexcept {
+  double result = seed;
+  double base = a;
+  while (n != 0) {
+    if (n & 1) result = lcg_step(result, base);
+    base = lcg_step(base, base);
+    n >>= 1;
+  }
+  return result;
+}
+
+}  // namespace hls::nas

@@ -1,0 +1,38 @@
+// The NAS Parallel Benchmarks linear-congruential generator.
+//
+// All five NPB kernels derive their inputs from the same 48-bit LCG
+//   x_{k+1} = a * x_k  mod 2^46,  a = 5^13,
+// with uniform deviates r_k = 2^-46 x_k. Reproducing it exactly keeps our
+// kernel inputs statistically identical to NPB's, and its log-time "skip
+// ahead" is what makes the EP kernel embarrassingly parallel.
+#pragma once
+
+#include <cstdint>
+
+namespace hls::nas {
+
+inline constexpr double kR23 = 0x1.0p-23;
+inline constexpr double kT23 = 0x1.0p+23;
+inline constexpr double kR46 = 0x1.0p-46;
+inline constexpr double kT46 = 0x1.0p+46;
+
+// Default multiplier a = 5^13 and the EP/CG seed used by NPB.
+inline constexpr double kDefaultMult = 1220703125.0;
+inline constexpr double kDefaultSeed = 271828183.0;
+
+// Advances *x to the next element of the sequence and returns the uniform
+// deviate in (0, 1). Mirrors NPB's randlc().
+double randlc(double* x, double a) noexcept;
+
+// Fills y[0..n) with deviates, advancing *x past them. Mirrors vranlc().
+void vranlc(int n, double* x, double a, double* y) noexcept;
+
+// Returns the seed advanced by 2^m steps (NPB's power-of-two jump used to
+// give each loop iteration an independent stream). a is the multiplier.
+double ipow46(double a, int exponent_base2) noexcept;
+
+// Returns a^n * seed mod 2^46 for arbitrary n >= 0 (binary exponentiation),
+// i.e. the state after n draws.
+double skip_ahead(double seed, double a, std::uint64_t n) noexcept;
+
+}  // namespace hls::nas

@@ -1,0 +1,38 @@
+// Deterministic pseudo-random number generation.
+//
+// The discrete-event simulator and the work-stealing victim selection both
+// need fast, seedable, reproducible RNG. xoshiro256** is used for quality;
+// splitmix64 seeds it.
+#pragma once
+
+#include <cstdint>
+
+namespace hls {
+
+// splitmix64: used to expand a single seed into xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+class xoshiro256ss {
+ public:
+  explicit xoshiro256ss(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept;
+
+  std::uint64_t next() noexcept;
+
+  // Unbiased integer in [0, bound) via Lemire's method; bound > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  // Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  // std::uniform_random_bit_generator interface so the generator can be fed
+  // to <random> distributions and std::shuffle.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ull; }
+  result_type operator()() noexcept { return next(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace hls

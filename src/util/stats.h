@@ -1,0 +1,44 @@
+// Small statistics helpers for benchmark reporting.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hls {
+
+struct summary {
+  double mean = 0.0;
+  double stddev = 0.0;   // sample standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  std::size_t count = 0;
+
+  // stddev / mean; 0 when mean == 0. The paper reports < 4-5 % for all
+  // plotted points, so benches print this to flag noisy measurements.
+  double rel_stddev() const noexcept;
+};
+
+summary summarize(std::span<const double> xs);
+
+// Streaming mean/variance (Welford). Used by the EP kernel's verification
+// of Gaussian deviate moments and by long-running benches.
+class welford {
+ public:
+  void add(double x) noexcept;
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept;  // sample variance
+  std::size_t count() const noexcept { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Least-squares slope of y over x; used by the time-bound validation test to
+// fit measured makespans against the theoretical envelope.
+double lsq_slope(std::span<const double> x, std::span<const double> y);
+
+}  // namespace hls

@@ -1,0 +1,239 @@
+#include "workloads/cg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "sched/reduce.h"
+#include "util/rng.h"
+
+namespace hls::workloads::nas {
+
+csr_matrix cg_make_matrix(const cg_params& p) {
+  const std::int64_t n = p.n;
+  xoshiro256ss rng(p.seed);
+
+  // Build the strict upper triangle as (row -> {col: val}), then mirror.
+  // Row nnz budget: skewed — most rows get ~avg/2, a few rows are dense
+  // (up to 16x the average), as NPB's geometric column distribution yields.
+  std::vector<std::map<std::int32_t, double>> upper(
+      static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::int64_t budget = 1 + static_cast<std::int64_t>(
+                                  rng.next_below(p.avg_nnz_per_row));
+    if (rng.next_below(32) == 0) {
+      budget *= 16;  // occasional dense row
+    }
+    for (std::int64_t k = 0; k < budget; ++k) {
+      if (i + 1 >= n) break;
+      const auto j = static_cast<std::int32_t>(
+          i + 1 + static_cast<std::int64_t>(
+                      rng.next_below(static_cast<std::uint64_t>(n - i - 1))));
+      upper[static_cast<std::size_t>(i)][j] = rng.next_double() - 0.5;
+    }
+  }
+
+  // Row sums of absolute off-diagonal values for diagonal dominance.
+  std::vector<double> abs_row_sum(static_cast<std::size_t>(n), 0.0);
+  std::vector<std::int64_t> row_count(static_cast<std::size_t>(n), 1);  // diag
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (const auto& [j, v] : upper[static_cast<std::size_t>(i)]) {
+      abs_row_sum[static_cast<std::size_t>(i)] += std::fabs(v);
+      abs_row_sum[static_cast<std::size_t>(j)] += std::fabs(v);
+      ++row_count[static_cast<std::size_t>(i)];
+      ++row_count[static_cast<std::size_t>(j)];
+    }
+  }
+
+  csr_matrix a;
+  a.n = n;
+  a.row_start.resize(static_cast<std::size_t>(n) + 1);
+  a.row_start[0] = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    a.row_start[i + 1] = a.row_start[i] + row_count[static_cast<std::size_t>(i)];
+  }
+  a.col.resize(static_cast<std::size_t>(a.row_start[n]));
+  a.val.resize(static_cast<std::size_t>(a.row_start[n]));
+
+  std::vector<std::int64_t> cursor(a.row_start.begin(), a.row_start.end() - 1);
+  auto put = [&](std::int64_t i, std::int32_t j, double v) {
+    a.col[static_cast<std::size_t>(cursor[static_cast<std::size_t>(i)])] = j;
+    a.val[static_cast<std::size_t>(cursor[static_cast<std::size_t>(i)])] = v;
+    ++cursor[static_cast<std::size_t>(i)];
+  };
+  for (std::int64_t i = 0; i < n; ++i) {
+    // Diagonal: dominance + shift => SPD.
+    put(i, static_cast<std::int32_t>(i),
+        abs_row_sum[static_cast<std::size_t>(i)] + p.shift);
+    for (const auto& [j, v] : upper[static_cast<std::size_t>(i)]) {
+      put(i, j, v);
+      put(j, static_cast<std::int32_t>(i), v);
+    }
+  }
+  return a;
+}
+
+cg_bench::cg_bench(const cg_params& p) : p_(p), a_(cg_make_matrix(p)) {}
+
+void cg_bench::spmv(rt::runtime& rt, const std::vector<double>& x,
+                    std::vector<double>& y, policy pol,
+                    const loop_options& opt) {
+  parallel_for(
+      rt, 0, a_.n, pol,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          double s = 0.0;
+          const std::int64_t rs = a_.row_start[i];
+          const std::int64_t re = a_.row_start[i + 1];
+          for (std::int64_t k = rs; k < re; ++k) {
+            s += a_.val[static_cast<std::size_t>(k)] *
+                 x[static_cast<std::size_t>(
+                     a_.col[static_cast<std::size_t>(k)])];
+          }
+          y[static_cast<std::size_t>(i)] = s;
+        }
+      },
+      opt);
+}
+
+double cg_bench::dot(rt::runtime& rt, const std::vector<double>& a,
+                     const std::vector<double>& b, policy pol,
+                     const loop_options& opt) {
+  return parallel_sum<double>(
+      rt, 0, static_cast<std::int64_t>(a.size()), pol,
+      [&](std::int64_t i) {
+        return a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+      },
+      opt);
+}
+
+double cg_bench::cg_solve(rt::runtime& rt, const std::vector<double>& x,
+                          std::vector<double>& z, policy pol,
+                          const loop_options& opt) {
+  const auto n = static_cast<std::size_t>(a_.n);
+  std::vector<double> r = x, p = x, q(n, 0.0);
+  z.assign(n, 0.0);
+  double rho = dot(rt, r, r, pol, opt);
+
+  for (int it = 0; it < p_.cg_iterations; ++it) {
+    spmv(rt, p, q, pol, opt);
+    const double alpha = rho / dot(rt, p, q, pol, opt);
+    parallel_for(
+        rt, 0, a_.n, pol,
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            z[static_cast<std::size_t>(i)] +=
+                alpha * p[static_cast<std::size_t>(i)];
+            r[static_cast<std::size_t>(i)] -=
+                alpha * q[static_cast<std::size_t>(i)];
+          }
+        },
+        opt);
+    const double rho_new = dot(rt, r, r, pol, opt);
+    const double beta = rho_new / rho;
+    rho = rho_new;
+    parallel_for(
+        rt, 0, a_.n, pol,
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            p[static_cast<std::size_t>(i)] =
+                r[static_cast<std::size_t>(i)] +
+                beta * p[static_cast<std::size_t>(i)];
+          }
+        },
+        opt);
+  }
+
+  // Residual ||x - A z||.
+  spmv(rt, z, q, pol, opt);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = x[i] - q[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+kernel_result cg_bench::run(rt::runtime& rt, policy pol,
+                            const loop_options& opt) {
+  const auto n = static_cast<std::size_t>(a_.n);
+  std::vector<double> x(n, 1.0), z(n, 0.0);
+  double zeta = 0.0;
+  double rnorm = 0.0;
+
+  for (int outer = 0; outer < p_.outer_iterations; ++outer) {
+    rnorm = cg_solve(rt, x, z, pol, opt);
+    const double xz = dot(rt, x, z, pol, opt);
+    zeta = p_.shift + 1.0 / xz;
+    // x = z / ||z||
+    const double znorm = std::sqrt(dot(rt, z, z, pol, opt));
+    parallel_for(
+        rt, 0, a_.n, pol,
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            x[static_cast<std::size_t>(i)] =
+                z[static_cast<std::size_t>(i)] / znorm;
+          }
+        },
+        opt);
+  }
+
+  kernel_result kr;
+  std::ostringstream os;
+  os << "zeta=" << zeta << " rnorm=" << rnorm;
+  // CG on an SPD diagonally-dominant system converges fast: after 25 inner
+  // steps the residual must be tiny relative to ||x|| = O(sqrt(n)).
+  const bool ok = std::isfinite(zeta) && rnorm < 1e-8 * std::sqrt(
+                                                       static_cast<double>(n));
+  kr.verified = ok;
+  kr.checksum = zeta;
+  kr.detail = os.str();
+  kr.mflops_proxy = static_cast<double>(a_.nnz()) * 2.0 *
+                    p_.cg_iterations * p_.outer_iterations / 1e6;
+  return kr;
+}
+
+sim::workload_spec cg_spec(const cg_params& p) {
+  // Build the matrix once to extract the true row-nnz profile.
+  const csr_matrix a = cg_make_matrix(p);
+  auto row_nnz = std::make_shared<std::vector<std::int64_t>>();
+  row_nnz->reserve(static_cast<std::size_t>(a.n));
+  for (std::int64_t i = 0; i < a.n; ++i) row_nnz->push_back(a.row_nnz(i));
+
+  sim::workload_spec w;
+  w.name = "nas_cg";
+  w.outer_iterations = p.outer_iterations * p.cg_iterations;
+  w.region_count = a.n;
+  w.total_bytes =
+      static_cast<std::uint64_t>(a.nnz()) * 12 +  // val + col
+      static_cast<std::uint64_t>(a.n) * 8 * 4;    // x, z, r, p
+
+  const double bytes_per_nnz = 12.0;
+  // The unbalanced spmv loop: cost and footprint proportional to row nnz.
+  sim::loop_spec mv;
+  mv.n = a.n;
+  mv.cpu_ns = [row_nnz](std::int64_t i) {
+    return 2.0 * static_cast<double>((*row_nnz)[static_cast<std::size_t>(i)]);
+  };
+  mv.bytes = [row_nnz, bytes_per_nnz](std::int64_t i) -> std::uint64_t {
+    return static_cast<std::uint64_t>(
+        bytes_per_nnz * static_cast<double>(
+                            (*row_nnz)[static_cast<std::size_t>(i)]) +
+        24.0);
+  };
+  w.loops.push_back(std::move(mv));
+
+  // Two balanced vector-update loops per CG step.
+  for (int v = 0; v < 2; ++v) {
+    sim::loop_spec vec;
+    vec.n = a.n;
+    vec.cpu_ns = [](std::int64_t) { return 1.5; };
+    vec.bytes = [](std::int64_t) -> std::uint64_t { return 24; };
+    w.loops.push_back(std::move(vec));
+  }
+  return w;
+}
+
+}  // namespace hls::workloads::nas

@@ -1,0 +1,77 @@
+// NPB CG: conjugate gradient with an irregular sparse SPD matrix.
+//
+// A synthetic symmetric positive-definite matrix is built in CSR form with
+// a per-row nonzero count drawn from a skewed distribution (a few dense
+// rows among many sparse ones), reproducing the unbalanced sparse
+// matrix-vector product that makes CG a load-balancing benchmark. The
+// power-method outer loop and the 25-step CG inner solve follow NPB's
+// structure; verification checks the CG residual and the stability of the
+// zeta eigenvalue-shift estimate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/nas_common.h"
+
+namespace hls::workloads::nas {
+
+struct cg_params {
+  std::int64_t n = 4096;    // rows (NPB class S: 1400)
+  int avg_nnz_per_row = 12; // mean nonzeros per row (off-diagonal)
+  int cg_iterations = 25;   // inner CG steps (NPB: 25)
+  int outer_iterations = 4; // power-method steps (NPB class S: 15)
+  double shift = 10.0;      // diagonal shift (NPB lambda shift)
+  std::uint64_t seed = 314159265;
+};
+
+// CSR symmetric positive-definite matrix.
+struct csr_matrix {
+  std::int64_t n = 0;
+  std::vector<std::int64_t> row_start;  // n+1
+  std::vector<std::int32_t> col;
+  std::vector<double> val;
+
+  std::int64_t nnz() const noexcept {
+    return static_cast<std::int64_t>(col.size());
+  }
+  std::int64_t row_nnz(std::int64_t i) const noexcept {
+    return row_start[i + 1] - row_start[i];
+  }
+};
+
+// Builds the synthetic SPD matrix (diagonally dominant by construction).
+csr_matrix cg_make_matrix(const cg_params& p);
+
+class cg_bench {
+ public:
+  explicit cg_bench(const cg_params& p);
+
+  // Parallel y = A x.
+  void spmv(rt::runtime& rt, const std::vector<double>& x,
+            std::vector<double>& y, policy pol, const loop_options& opt = {});
+
+  // One inner CG solve of A z = x; returns ||x - A z||_2.
+  double cg_solve(rt::runtime& rt, const std::vector<double>& x,
+                  std::vector<double>& z, policy pol,
+                  const loop_options& opt = {});
+
+  // The full NPB-style benchmark: outer power iterations updating zeta.
+  kernel_result run(rt::runtime& rt, policy pol, const loop_options& opt = {});
+
+  const csr_matrix& matrix() const noexcept { return a_; }
+
+ private:
+  double dot(rt::runtime& rt, const std::vector<double>& a,
+             const std::vector<double>& b, policy pol,
+             const loop_options& opt);
+
+  cg_params p_;
+  csr_matrix a_;
+};
+
+// DES loop structure: per CG step, one nnz-weighted (unbalanced) matvec
+// loop plus balanced vector-update loops.
+sim::workload_spec cg_spec(const cg_params& p);
+
+}  // namespace hls::workloads::nas

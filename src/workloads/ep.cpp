@@ -1,0 +1,143 @@
+#include "workloads/ep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "sched/reduce.h"
+#include "util/nas_rng.h"
+
+namespace hls::workloads::nas {
+
+namespace {
+
+// Processes one block of `pairs` uniform pairs starting at LCG state after
+// `first_pair` pairs, accumulating into a local tally.
+void ep_block(std::int64_t first_pair, std::int64_t pairs, ep_result& acc) {
+  // Each pair consumes two deviates; skip 2 * first_pair draws.
+  double x = hls::nas::skip_ahead(hls::nas::kDefaultSeed,
+                                  hls::nas::kDefaultMult,
+                                  2ull * static_cast<std::uint64_t>(first_pair));
+  for (std::int64_t k = 0; k < pairs; ++k) {
+    const double u1 = 2.0 * hls::nas::randlc(&x, hls::nas::kDefaultMult) - 1.0;
+    const double u2 = 2.0 * hls::nas::randlc(&x, hls::nas::kDefaultMult) - 1.0;
+    const double t = u1 * u1 + u2 * u2;
+    if (t <= 1.0 && t != 0.0) {
+      const double f = std::sqrt(-2.0 * std::log(t) / t);
+      const double gx = u1 * f;
+      const double gy = u2 * f;
+      acc.sx += gx;
+      acc.sy += gy;
+      const int bin = static_cast<int>(std::max(std::fabs(gx), std::fabs(gy)));
+      if (bin >= 0 && bin < 10) acc.q[static_cast<std::size_t>(bin)] += 1.0;
+      ++acc.pairs_accepted;
+    }
+  }
+}
+
+}  // namespace
+
+double ep_result::checksum() const noexcept {
+  double c = sx * 17.0 + sy * 31.0 + static_cast<double>(pairs_accepted);
+  for (std::size_t b = 0; b < q.size(); ++b) {
+    c += q[b] * static_cast<double>(b + 1);
+  }
+  return c;
+}
+
+ep_result ep_run(rt::runtime& rt, const ep_params& p, policy pol,
+                 const loop_options& opt) {
+  const std::int64_t total_pairs = std::int64_t{1} << p.m;
+  const std::int64_t block = std::int64_t{1} << p.block_log2;
+  const std::int64_t blocks = (total_pairs + block - 1) / block;
+
+  auto merge = [](ep_result a, const ep_result& b) {
+    a.sx += b.sx;
+    a.sy += b.sy;
+    a.pairs_accepted += b.pairs_accepted;
+    for (std::size_t i = 0; i < a.q.size(); ++i) a.q[i] += b.q[i];
+    return a;
+  };
+  return parallel_reduce(
+      rt, 0, blocks, pol, ep_result{},
+      [&](std::int64_t lo, std::int64_t hi) {
+        ep_result local;
+        for (std::int64_t b = lo; b < hi; ++b) {
+          const std::int64_t first = b * block;
+          const std::int64_t n = std::min(block, total_pairs - first);
+          ep_block(first, n, local);
+        }
+        return local;
+      },
+      merge, opt);
+}
+
+ep_result ep_run_serial(const ep_params& p) {
+  const std::int64_t total_pairs = std::int64_t{1} << p.m;
+  ep_result acc;
+  ep_block(0, total_pairs, acc);
+  return acc;
+}
+
+kernel_result ep_verify(const ep_result& got, const ep_params& p) {
+  kernel_result kr;
+  const ep_result ref = ep_run_serial(p);
+  std::ostringstream os;
+
+  // Exact agreement with the serial reference: the skip-ahead streams make
+  // every scheduling of the blocks produce the identical tallies, up to
+  // floating-point summation order in sx/sy.
+  const double n = static_cast<double>(std::int64_t{1} << p.m);
+  const double tol = 1e-9 * n;
+  bool ok = std::fabs(got.sx - ref.sx) <= tol &&
+            std::fabs(got.sy - ref.sy) <= tol &&
+            got.pairs_accepted == ref.pairs_accepted;
+  for (std::size_t b = 0; b < got.q.size(); ++b) {
+    ok = ok && got.q[b] == ref.q[b];
+  }
+  os << "pairs=" << got.pairs_accepted << " sx=" << got.sx
+     << " sy=" << got.sy;
+
+  // Statistical sanity: acceptance rate ~ pi/4; means near 0; counts
+  // strictly decreasing after bin 1 for a standard normal.
+  const double accept = static_cast<double>(got.pairs_accepted) / n;
+  ok = ok && std::fabs(accept - 0.7853981) < 0.01;
+  ok = ok && std::fabs(got.sx) < 5.0 * std::sqrt(n);
+  ok = ok && std::fabs(got.sy) < 5.0 * std::sqrt(n);
+  for (std::size_t b = 1; b + 1 < got.q.size(); ++b) {
+    if (got.q[b + 1] > got.q[b]) {
+      ok = false;
+      os << " nonmonotone-q@" << b;
+    }
+  }
+
+  kr.verified = ok;
+  kr.checksum = got.checksum();
+  kr.detail = os.str();
+  kr.mflops_proxy = n * 30.0 / 1e6;  // ~30 flops per pair attempt
+  return kr;
+}
+
+sim::workload_spec ep_spec(const ep_params& p, int outer_iterations) {
+  const std::int64_t total_pairs = std::int64_t{1} << p.m;
+  const std::int64_t block = std::int64_t{1} << p.block_log2;
+  const std::int64_t blocks = (total_pairs + block - 1) / block;
+
+  sim::workload_spec w;
+  w.name = "nas_ep";
+  w.outer_iterations = outer_iterations;
+  w.region_count = blocks;
+  w.total_bytes = static_cast<std::uint64_t>(blocks) * 64;  // tiny state
+
+  sim::loop_spec ls;
+  ls.n = blocks;
+  // Compute-bound: ~35 ns per pair (LCG + transcendental) on the modelled
+  // core; negligible memory footprint per block.
+  const double ns_per_block = static_cast<double>(block) * 35.0;
+  ls.cpu_ns = [ns_per_block](std::int64_t) { return ns_per_block; };
+  ls.bytes = [](std::int64_t) -> std::uint64_t { return 64; };
+  w.loops.push_back(std::move(ls));
+  return w;
+}
+
+}  // namespace hls::workloads::nas

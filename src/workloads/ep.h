@@ -1,0 +1,46 @@
+// NPB EP: embarrassingly parallel generation of Gaussian deviate pairs.
+//
+// Generates 2^m pairs of uniform (0,1) deviates from the NAS LCG, maps
+// accepted pairs to independent Gaussians via the Marsaglia polar method,
+// and tallies the sums and the annulus counts q[0..9] of max(|x|,|y|).
+// The LCG's log-time skip-ahead gives every block an independent stream, so
+// the result is bit-identical regardless of schedule — the property the
+// tests use to validate every scheduling policy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "workloads/nas_common.h"
+
+namespace hls::workloads::nas {
+
+struct ep_params {
+  int m = 18;             // 2^m random pairs (NPB class S is m=24)
+  std::int64_t block_log2 = 10;  // pairs per parallel iteration block
+};
+
+struct ep_result {
+  double sx = 0.0;
+  double sy = 0.0;
+  std::array<double, 10> q{};  // annulus counts
+  std::int64_t pairs_accepted = 0;
+
+  double checksum() const noexcept;
+};
+
+// Runs EP under the given policy. Deterministic for every policy.
+ep_result ep_run(rt::runtime& rt, const ep_params& p, policy pol,
+                 const loop_options& opt = {});
+
+// Serial reference (no runtime involved).
+ep_result ep_run_serial(const ep_params& p);
+
+// Self-verification: cross-checks against the serial reference and the
+// statistical properties of the Gaussian tallies.
+kernel_result ep_verify(const ep_result& got, const ep_params& p);
+
+// DES loop structure: one balanced compute-bound loop over blocks.
+sim::workload_spec ep_spec(const ep_params& p, int outer_iterations = 1);
+
+}  // namespace hls::workloads::nas

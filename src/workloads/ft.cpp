@@ -1,0 +1,221 @@
+#include "workloads/ft.h"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "util/bits.h"
+#include "util/nas_rng.h"
+
+namespace hls::workloads::nas {
+
+void fft1d(cplx* data, std::int64_t n, std::int64_t stride, int sign) {
+  // Bit-reversal permutation over the strided view.
+  for (std::int64_t i = 1, j = 0; i < n; ++i) {
+    std::int64_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i * stride], data[j * stride]);
+  }
+  for (std::int64_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        static_cast<double>(sign) * 2.0 * std::numbers::pi /
+        static_cast<double>(len);
+    const cplx wlen(std::cos(ang), std::sin(ang));
+    for (std::int64_t i = 0; i < n; i += len) {
+      cplx w(1.0, 0.0);
+      for (std::int64_t k = 0; k < len / 2; ++k) {
+        cplx& a = data[(i + k) * stride];
+        cplx& b = data[(i + k + len / 2) * stride];
+        const cplx t = b * w;
+        b = a - t;
+        a += t;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+ft_bench::ft_bench(const ft_params& p)
+    : p_(p),
+      nx_(std::int64_t{1} << p.log2_nx),
+      ny_(std::int64_t{1} << p.log2_ny),
+      nz_(std::int64_t{1} << p.log2_nz),
+      u0_(static_cast<std::size_t>(nx_ * ny_ * nz_)) {
+  // NPB initializes the field with consecutive LCG deviates (re, im pairs),
+  // z-major order.
+  double x = hls::nas::kDefaultSeed;
+  for (auto& c : u0_) {
+    const double re = hls::nas::randlc(&x, hls::nas::kDefaultMult);
+    const double im = hls::nas::randlc(&x, hls::nas::kDefaultMult);
+    c = cplx(re, im);
+  }
+}
+
+void ft_bench::fft3d(rt::runtime& rt, std::vector<cplx>& grid, int sign,
+                     policy pol, const loop_options& opt) {
+  cplx* g = grid.data();
+  // Layout: index = (ix * ny + iy) * nz + iz  (z contiguous).
+
+  // Pass 1: transforms along z (stride 1), one pencil per (ix, iy).
+  parallel_for(
+      rt, 0, nx_ * ny_, pol,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t pxy = lo; pxy < hi; ++pxy) {
+          fft1d(g + pxy * nz_, nz_, 1, sign);
+        }
+      },
+      opt);
+
+  // Pass 2: transforms along y (stride nz), one pencil per (ix, iz).
+  parallel_for(
+      rt, 0, nx_ * nz_, pol,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t pxz = lo; pxz < hi; ++pxz) {
+          const std::int64_t ix = pxz / nz_;
+          const std::int64_t iz = pxz % nz_;
+          fft1d(g + ix * ny_ * nz_ + iz, ny_, nz_, sign);
+        }
+      },
+      opt);
+
+  // Pass 3: transforms along x (stride ny*nz), one pencil per (iy, iz).
+  parallel_for(
+      rt, 0, ny_ * nz_, pol,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t pyz = lo; pyz < hi; ++pyz) {
+          fft1d(g + pyz, nx_, ny_ * nz_, sign);
+        }
+      },
+      opt);
+
+  if (sign > 0) {
+    const double scale = 1.0 / static_cast<double>(cells());
+    parallel_for(
+        rt, 0, cells(), pol,
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) g[i] *= scale;
+        },
+        opt);
+  }
+}
+
+cplx ft_bench::probe_checksum(const std::vector<cplx>& grid) const {
+  // NPB's sparse checksum: 1024 strided probes.
+  cplx sum(0.0, 0.0);
+  for (std::int64_t j = 1; j <= 1024; ++j) {
+    const std::int64_t ix = (5 * j) % nx_;
+    const std::int64_t iy = (3 * j) % ny_;
+    const std::int64_t iz = j % nz_;
+    sum += grid[static_cast<std::size_t>((ix * ny_ + iy) * nz_ + iz)];
+  }
+  return sum / static_cast<double>(cells());
+}
+
+kernel_result ft_bench::run(rt::runtime& rt, policy pol,
+                            const loop_options& opt) {
+  // Wave numbers (folded to the symmetric range) for the evolution factor.
+  auto kbar2 = [&](std::int64_t ix, std::int64_t iy, std::int64_t iz) {
+    const std::int64_t kx = ix >= nx_ / 2 ? ix - nx_ : ix;
+    const std::int64_t ky = iy >= ny_ / 2 ? iy - ny_ : iy;
+    const std::int64_t kz = iz >= nz_ / 2 ? iz - nz_ : iz;
+    return static_cast<double>(kx * kx + ky * ky + kz * kz);
+  };
+
+  std::vector<cplx> u1 = u0_;
+  fft3d(rt, u1, -1, pol, opt);  // forward transform once
+
+  std::vector<cplx> u2(u1.size());
+  kernel_result kr;
+  std::ostringstream os;
+  bool ok = true;
+  cplx prev_sum(0.0, 0.0);
+
+  for (int t = 1; t <= p_.time_steps; ++t) {
+    const double coeff = -4.0 * p_.alpha * std::numbers::pi *
+                         std::numbers::pi * static_cast<double>(t);
+    // Evolve in spectral space (parallel over x-planes).
+    cplx* dst = u2.data();
+    const cplx* src = u1.data();
+    parallel_for(
+        rt, 0, nx_, pol,
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t ix = lo; ix < hi; ++ix) {
+            for (std::int64_t iy = 0; iy < ny_; ++iy) {
+              for (std::int64_t iz = 0; iz < nz_; ++iz) {
+                const std::int64_t idx = (ix * ny_ + iy) * nz_ + iz;
+                dst[idx] = src[idx] * std::exp(coeff * kbar2(ix, iy, iz));
+              }
+            }
+          }
+        },
+        opt);
+    fft3d(rt, u2, +1, pol, opt);  // back to physical space
+    const cplx sum = probe_checksum(u2);
+    os << " t" << t << "=(" << sum.real() << "," << sum.imag() << ")";
+    ok = ok && std::isfinite(sum.real()) && std::isfinite(sum.imag());
+    // The diffusive evolution damps the field smoothly: consecutive
+    // checksums stay within the same order of magnitude.
+    if (t > 1) {
+      ok = ok && std::abs(sum - prev_sum) < 1.0;
+    }
+    prev_sum = sum;
+  }
+
+  kr.verified = ok;
+  kr.checksum = prev_sum.real() + prev_sum.imag();
+  kr.detail = "checksums:" + os.str();
+  const double n = static_cast<double>(cells());
+  kr.mflops_proxy = p_.time_steps * 5.0 * n *
+                    (p_.log2_nx + p_.log2_ny + p_.log2_nz) / 1e6;
+  return kr;
+}
+
+sim::workload_spec ft_spec(const ft_params& p) {
+  const std::int64_t nx = std::int64_t{1} << p.log2_nx;
+  const std::int64_t ny = std::int64_t{1} << p.log2_ny;
+  const std::int64_t nz = std::int64_t{1} << p.log2_nz;
+
+  sim::workload_spec w;
+  w.name = "nas_ft";
+  w.outer_iterations = p.time_steps;
+  w.total_bytes = static_cast<std::uint64_t>(nx * ny * nz) * 16 * 2;
+  // Regions: x-planes (the coarsest persistent spatial decomposition).
+  w.region_count = nx;
+
+  auto add_pencil_loop = [&](std::int64_t pencils, std::int64_t len,
+                             std::int64_t regions_stride) {
+    sim::loop_spec ls;
+    ls.n = pencils;
+    const double cost =
+        5.0 * static_cast<double>(len) *
+        static_cast<double>(ilog2(static_cast<std::uint64_t>(len)));
+    ls.cpu_ns = [cost](std::int64_t) { return cost * 0.7; };
+    ls.bytes = [len](std::int64_t) -> std::uint64_t {
+      return static_cast<std::uint64_t>(len) * 16;
+    };
+    const std::int64_t nreg = w.region_count;
+    ls.region_of = [pencils, nreg, regions_stride](std::int64_t i) {
+      (void)regions_stride;
+      return (i * nreg) / pencils;  // map pencils onto x-plane regions
+    };
+    w.loops.push_back(std::move(ls));
+  };
+
+  // Evolve loop + three FFT passes per time step.
+  sim::loop_spec evolve;
+  evolve.n = nx;
+  const double plane_cells = static_cast<double>(ny * nz);
+  evolve.cpu_ns = [plane_cells](std::int64_t) { return plane_cells * 4.0; };
+  evolve.bytes = [plane_cells](std::int64_t) -> std::uint64_t {
+    return static_cast<std::uint64_t>(plane_cells * 32.0);
+  };
+  w.loops.push_back(std::move(evolve));
+
+  add_pencil_loop(nx * ny, nz, 1);
+  add_pencil_loop(nx * nz, ny, 1);
+  add_pencil_loop(ny * nz, nx, 1);
+  return w;
+}
+
+}  // namespace hls::workloads::nas

@@ -1,0 +1,65 @@
+// NPB FT: 3-D fast Fourier transform PDE solver.
+//
+// Follows NPB's structure: a random complex field U0 from the NAS LCG is
+// transformed once (U1 = FFT(U0)); then each time step multiplies U1 by the
+// spectral evolution factor exp(-4 pi^2 alpha t k^2) and inverse-transforms,
+// taking NPB's sparse checksum of the result. The 3-D transform is three
+// passes of 1-D radix-2 FFTs over pencils; each pass is a parallel loop
+// over the pencil index. Verification: FFT round-trip identity and
+// Parseval's theorem, plus checksum stability across time steps.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "workloads/nas_common.h"
+
+namespace hls::workloads::nas {
+
+struct ft_params {
+  int log2_nx = 5;  // NPB class S is 64x64x64; default here 32^3
+  int log2_ny = 5;
+  int log2_nz = 5;
+  int time_steps = 4;  // NPB class S: 6
+  double alpha = 1e-6;
+};
+
+using cplx = std::complex<double>;
+
+// In-place radix-2 Cooley-Tukey FFT of length n = 2^k over a strided view.
+// sign = -1 forward, +1 inverse (unnormalized; caller scales by 1/n).
+void fft1d(cplx* data, std::int64_t n, std::int64_t stride, int sign);
+
+class ft_bench {
+ public:
+  explicit ft_bench(const ft_params& p);
+
+  // 3-D transform of grid in place; sign as in fft1d. Inverse includes the
+  // 1/N normalization.
+  void fft3d(rt::runtime& rt, std::vector<cplx>& grid, int sign, policy pol,
+             const loop_options& opt = {});
+
+  // The full NPB benchmark; checksum is the sum of NPB's sparse probe.
+  kernel_result run(rt::runtime& rt, policy pol, const loop_options& opt = {});
+
+  std::int64_t nx() const noexcept { return nx_; }
+  std::int64_t ny() const noexcept { return ny_; }
+  std::int64_t nz() const noexcept { return nz_; }
+  std::int64_t cells() const noexcept { return nx_ * ny_ * nz_; }
+
+  const std::vector<cplx>& initial() const noexcept { return u0_; }
+
+ private:
+  cplx probe_checksum(const std::vector<cplx>& grid) const;
+
+  ft_params p_;
+  std::int64_t nx_, ny_, nz_;
+  std::vector<cplx> u0_;
+};
+
+// DES loop structure: three pencil-sweep loops per 3-D FFT per time step,
+// balanced, with n log n per-pencil cost.
+sim::workload_spec ft_spec(const ft_params& p);
+
+}  // namespace hls::workloads::nas

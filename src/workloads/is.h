@@ -1,0 +1,50 @@
+// NPB IS: parallel integer sort (bucket/counting sort of random keys).
+//
+// Keys are drawn from the NAS LCG the way NPB IS does (the average of four
+// consecutive deviates, scaled to [0, 2^bits)), giving an approximately
+// binomial key distribution. Each ranking iteration histograms the keys in
+// parallel (per-worker private histograms reduced in parallel), prefix-sums
+// the histogram, and scatters the ranks. Verification checks that applying
+// the ranks yields a sorted permutation of the inputs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/nas_common.h"
+
+namespace hls::workloads::nas {
+
+struct is_params {
+  std::int64_t total_keys = 1 << 16;  // NPB class S is 2^16
+  int key_bits = 11;                  // keys in [0, 2^key_bits)
+  int iterations = 10;                // ranking iterations (NPB: 10)
+};
+
+class is_bench {
+ public:
+  explicit is_bench(const is_params& p);
+
+  // One NPB ranking iteration i (NPB perturbs two keys per iteration, then
+  // ranks). Returns the partial verification count used as a checksum.
+  void rank_iteration(rt::runtime& rt, int iteration, policy pol,
+                      const loop_options& opt = {});
+
+  // Full benchmark: all ranking iterations, then the final full sort.
+  kernel_result run(rt::runtime& rt, policy pol, const loop_options& opt = {});
+
+  const std::vector<std::int32_t>& keys() const noexcept { return keys_; }
+  const std::vector<std::int32_t>& ranks() const noexcept { return ranks_; }
+
+ private:
+  is_params p_;
+  std::int32_t max_key_;
+  std::vector<std::int32_t> keys_;
+  std::vector<std::int32_t> ranks_;
+};
+
+// DES loop structure: per ranking iteration, a histogram loop and a rank
+// scatter loop, both balanced memory-streaming loops.
+sim::workload_spec is_spec(const is_params& p);
+
+}  // namespace hls::workloads::nas

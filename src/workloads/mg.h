@@ -1,0 +1,95 @@
+// NPB MG: V-cycle multigrid for the 3-D Poisson problem.
+//
+// Implements NPB's operator set on periodic grids: the 27-point A operator
+// (coefficients by neighbor class), the psinv smoother S, full-weighting
+// restriction rprj3, and trilinear prolongation interp, composed into the
+// mg3P V-cycle. The right-hand side is +-1 at LCG-chosen points, as in
+// NPB. All plane loops are parallel loops over the outermost dimension.
+// Verification: the residual norm must contract at a healthy multigrid
+// rate per V-cycle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/nas_common.h"
+
+namespace hls::workloads::nas {
+
+struct mg_params {
+  int log2_size = 5;  // finest grid is (2^log2_size)^3; NPB class S is 5
+  int cycles = 4;     // V-cycles (NPB class S: 4)
+  int charge_points = 10;  // +1 and -1 charges each
+  std::uint64_t seed = 314159265;
+};
+
+// One cubic periodic grid of doubles, n^3 elements.
+class mg_grid {
+ public:
+  explicit mg_grid(int n) : n_(n), data_(static_cast<std::size_t>(n) * n * n) {}
+
+  int n() const noexcept { return n_; }
+  double& at(int i, int j, int k) noexcept {
+    return data_[(static_cast<std::size_t>(i) * n_ + j) * n_ + k];
+  }
+  double at(int i, int j, int k) const noexcept {
+    return data_[(static_cast<std::size_t>(i) * n_ + j) * n_ + k];
+  }
+  int wrap(int i) const noexcept {
+    return i < 0 ? i + n_ : (i >= n_ ? i - n_ : i);
+  }
+  std::vector<double>& raw() noexcept { return data_; }
+  const std::vector<double>& raw() const noexcept { return data_; }
+
+ private:
+  int n_;
+  std::vector<double> data_;
+};
+
+class mg_bench {
+ public:
+  explicit mg_bench(const mg_params& p);
+
+  // r = v - A u   (27-point operator), parallel over planes.
+  void resid(rt::runtime& rt, const mg_grid& u, const mg_grid& v, mg_grid& r,
+             policy pol, const loop_options& opt = {});
+
+  // u += S r      (smoother), parallel over planes.
+  void psinv(rt::runtime& rt, const mg_grid& r, mg_grid& u, policy pol,
+             const loop_options& opt = {});
+
+  // Coarse <- full weighting of fine, parallel over coarse planes.
+  void rprj3(rt::runtime& rt, const mg_grid& fine, mg_grid& coarse,
+             policy pol, const loop_options& opt = {});
+
+  // Fine += trilinear prolongation of coarse, parallel over coarse planes.
+  void interp(rt::runtime& rt, const mg_grid& coarse, mg_grid& fine,
+              policy pol, const loop_options& opt = {});
+
+  // One V-cycle on the level hierarchy: u <- u + M r.
+  void vcycle(rt::runtime& rt, policy pol, const loop_options& opt = {});
+
+  double residual_norm(rt::runtime& rt, policy pol,
+                       const loop_options& opt = {});
+
+  // Full benchmark: `cycles` V-cycles with residual tracking.
+  kernel_result run(rt::runtime& rt, policy pol, const loop_options& opt = {});
+
+  const mg_grid& solution() const noexcept { return u_; }
+
+ private:
+  mg_params p_;
+  int levels_;
+  mg_grid u_;   // solution, finest level
+  mg_grid v_;   // right-hand side, finest level
+  mg_grid r_;   // residual, finest level
+  // Per-level scratch grids for the V-cycle (index 0 = finest).
+  std::vector<mg_grid> ru_;  // correction per level
+  std::vector<mg_grid> rr_;  // residual per level
+};
+
+// DES loop structure: the V-cycle's plane loops across levels, balanced,
+// with per-plane footprints shrinking at coarser levels.
+sim::workload_spec mg_spec(const mg_params& p);
+
+}  // namespace hls::workloads::nas

@@ -1,0 +1,76 @@
+// The paper's two microbenchmarks (Section V): iterative applications with
+// heavy data accesses, one with balanced parallel iterations and one with
+// unbalanced ones. Each microbenchmark is an outer sequential loop around an
+// inner parallel loop; parallel iteration i walks its own disjoint array
+// slice in strides of 13 modulo the slice size (defeating the prefetcher on
+// the paper's machine). Working sets come in three sizes relative to the
+// 16 MB per-socket L3: well under, at about, and well above.
+//
+// Two forms are provided:
+//   * micro_bench  - a real, runnable kernel on the threaded runtime (used
+//                    by tests, examples, and real-thread affinity runs);
+//   * micro_spec   - the workload description for the discrete-event
+//                    simulator (used by the Fig. 1/2 benches at 32 cores).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/loop.h"
+#include "sim/workload.h"
+
+namespace hls::workloads {
+
+struct micro_params {
+  std::int64_t iterations = 4096;  // N parallel iterations per loop
+  std::uint64_t total_bytes = 47'600'000;
+  bool balanced = true;
+  int outer_iterations = 10;  // the iterative application's time steps
+  double cpu_ns_per_line = 1.0;
+};
+
+// The paper's three working-set sizes, expressed as TOTAL bytes across the
+// four sockets (the paper quotes the per-socket share: 11.90 MB, 15.87 MB,
+// 79.35 MB).
+constexpr std::uint64_t kWsUnderL3 = 4ull * 11'900'000;
+constexpr std::uint64_t kWsAtL3 = 4ull * 15'870'000;
+constexpr std::uint64_t kWsAboveL3 = 4ull * 79'350'000;
+
+// Per-iteration element counts (doubles). Balanced: equal slices.
+// Unbalanced: a deterministic linear ramp from 0.1x to 1.9x of the mean, so
+// a static P-way split leaves the last block with nearly twice the average
+// work.
+std::vector<std::int64_t> micro_slice_sizes(const micro_params& p);
+
+// DES workload description.
+sim::workload_spec micro_spec(const micro_params& p);
+
+// Real, runnable microbenchmark over the threaded runtime.
+class micro_bench {
+ public:
+  explicit micro_bench(const micro_params& p);
+
+  std::int64_t iterations() const noexcept { return params_.iterations; }
+  std::uint64_t bytes() const noexcept { return data_.size() * sizeof(double); }
+
+  // One parallel-loop instance (one time step). Returns a checksum of the
+  // touched data so the compiler cannot elide the traversal.
+  double run_once(rt::runtime& rt, policy pol, const loop_options& opt = {});
+
+  // Serial reference for the same time step.
+  double run_serial();
+
+  // Expected checksum invariance: the traversal touches every element of
+  // iteration i's slice exactly once per call regardless of schedule.
+  std::int64_t slice_begin(std::int64_t i) const { return offsets_[i]; }
+  std::int64_t slice_end(std::int64_t i) const { return offsets_[i + 1]; }
+
+ private:
+  double walk_slice(std::int64_t i);
+
+  micro_params params_;
+  std::vector<std::int64_t> offsets_;  // N+1 prefix offsets into data_
+  std::vector<double> data_;
+};
+
+}  // namespace hls::workloads

@@ -1,0 +1,124 @@
+#include "workloads/nas_classes.h"
+
+namespace hls::workloads::nas {
+
+std::optional<npb_class> npb_class_from_name(std::string_view s) noexcept {
+  if (s == "T" || s == "t") return npb_class::T;
+  if (s == "S" || s == "s") return npb_class::S;
+  if (s == "W" || s == "w") return npb_class::W;
+  if (s == "A" || s == "a") return npb_class::A;
+  return std::nullopt;
+}
+
+const char* npb_class_name(npb_class c) noexcept {
+  switch (c) {
+    case npb_class::T: return "T";
+    case npb_class::S: return "S";
+    case npb_class::W: return "W";
+    case npb_class::A: return "A";
+  }
+  return "?";
+}
+
+ep_params ep_class(npb_class c) noexcept {
+  ep_params p;
+  switch (c) {
+    case npb_class::T: p.m = 14; break;
+    case npb_class::S: p.m = 24; break;  // NPB: 2^24 pairs
+    case npb_class::W: p.m = 25; break;
+    case npb_class::A: p.m = 28; break;
+  }
+  return p;
+}
+
+is_params is_class(npb_class c) noexcept {
+  is_params p;
+  switch (c) {
+    case npb_class::T:
+      p.total_keys = 1 << 12;
+      p.key_bits = 8;
+      break;
+    case npb_class::S:  // NPB: 2^16 keys, 2^11 max key
+      p.total_keys = 1 << 16;
+      p.key_bits = 11;
+      break;
+    case npb_class::W:  // NPB: 2^20 keys, 2^16 max key
+      p.total_keys = 1 << 20;
+      p.key_bits = 16;
+      break;
+    case npb_class::A:  // NPB: 2^23 keys, 2^19 max key
+      p.total_keys = 1 << 23;
+      p.key_bits = 19;
+      break;
+  }
+  return p;
+}
+
+cg_params cg_class(npb_class c) noexcept {
+  cg_params p;
+  switch (c) {
+    case npb_class::T:
+      p.n = 512;
+      p.avg_nnz_per_row = 6;
+      p.outer_iterations = 2;
+      break;
+    case npb_class::S:  // NPB: n=1400, 15 outer iterations, shift 10
+      p.n = 1400;
+      p.avg_nnz_per_row = 7;
+      p.outer_iterations = 15;
+      p.shift = 10.0;
+      break;
+    case npb_class::W:  // NPB: n=7000, shift 12
+      p.n = 7000;
+      p.avg_nnz_per_row = 8;
+      p.outer_iterations = 15;
+      p.shift = 12.0;
+      break;
+    case npb_class::A:  // NPB: n=14000, shift 20
+      p.n = 14000;
+      p.avg_nnz_per_row = 11;
+      p.outer_iterations = 15;
+      p.shift = 20.0;
+      break;
+  }
+  return p;
+}
+
+mg_params mg_class(npb_class c) noexcept {
+  mg_params p;
+  switch (c) {
+    case npb_class::T: p.log2_size = 4; break;  // 16^3
+    case npb_class::S: p.log2_size = 5; break;  // NPB: 32^3, 4 cycles
+    case npb_class::W: p.log2_size = 7; break;  // NPB: 128^3
+    case npb_class::A: p.log2_size = 8; break;  // NPB: 256^3
+  }
+  p.cycles = 4;
+  return p;
+}
+
+ft_params ft_class(npb_class c) noexcept {
+  ft_params p;
+  switch (c) {
+    case npb_class::T:
+      p.log2_nx = p.log2_ny = p.log2_nz = 3;
+      p.time_steps = 2;
+      break;
+    case npb_class::S:  // NPB: 64^3, 6 steps
+      p.log2_nx = p.log2_ny = p.log2_nz = 6;
+      p.time_steps = 6;
+      break;
+    case npb_class::W:  // NPB: 128x128x32, 6 steps
+      p.log2_nx = p.log2_ny = 7;
+      p.log2_nz = 5;
+      p.time_steps = 6;
+      break;
+    case npb_class::A:  // NPB: 256x256x128, 6 steps
+      p.log2_nx = p.log2_ny = 8;
+      p.log2_nz = 7;
+      p.time_steps = 6;
+      break;
+  }
+  return p;
+}
+
+}  // namespace hls::workloads::nas

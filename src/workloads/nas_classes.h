@@ -1,0 +1,31 @@
+// NPB problem-class presets.
+//
+// Classes S and W follow NPB 3.3.1's published sizes; class T ("tiny") is
+// this repo's addition for fast tests. Class A sizes are listed for
+// reference but MG/FT at class A need minutes of (simulated) work on a
+// laptop container, so the drivers default to S.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "workloads/cg.h"
+#include "workloads/ep.h"
+#include "workloads/ft.h"
+#include "workloads/is.h"
+#include "workloads/mg.h"
+
+namespace hls::workloads::nas {
+
+enum class npb_class { T, S, W, A };
+
+std::optional<npb_class> npb_class_from_name(std::string_view s) noexcept;
+const char* npb_class_name(npb_class c) noexcept;
+
+ep_params ep_class(npb_class c) noexcept;
+is_params is_class(npb_class c) noexcept;
+cg_params cg_class(npb_class c) noexcept;
+mg_params mg_class(npb_class c) noexcept;
+ft_params ft_class(npb_class c) noexcept;
+
+}  // namespace hls::workloads::nas

@@ -1,0 +1,24 @@
+// Shared declarations for the NAS Parallel Benchmark kernels.
+//
+// The five NPB kernels (ep, is, cg, mg, ft) are reimplemented from scratch
+// in C++20 on top of the hls loop API, at laptop-scale problem classes.
+// Each kernel self-verifies (NPB's class-specific reference values do not
+// apply to rescaled classes) and exposes a workload_spec describing its
+// parallel-loop structure for the discrete-event simulator (Fig. 3).
+#pragma once
+
+#include <string>
+
+#include "sched/loop.h"
+#include "sim/workload.h"
+
+namespace hls::workloads::nas {
+
+struct kernel_result {
+  bool verified = false;
+  double checksum = 0.0;   // kernel-specific scalar for cross-run equality
+  std::string detail;      // human-readable verification summary
+  double mflops_proxy = 0; // operation count / 1e6 (not timed here)
+};
+
+}  // namespace hls::workloads::nas

@@ -1,0 +1,125 @@
+// Validates the structural identities underpinning the Lemma 2 proof.
+#include "core/groups.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace hls::core {
+namespace {
+
+std::set<std::uint64_t> as_set(const std::vector<std::uint64_t>& v) {
+  return {v.begin(), v.end()};
+}
+
+TEST(IndexGroup, PaperExampleR8) {
+  // R = 2^3: level-1 groups {0,1},{2,3},{4,5},{6,7}; level-2 {0..3},{4..7}.
+  EXPECT_EQ(indices_of({0, 1}), (std::vector<std::uint64_t>{0, 1}));
+  EXPECT_EQ(indices_of({3, 1}), (std::vector<std::uint64_t>{6, 7}));
+  EXPECT_EQ(indices_of({0, 2}), (std::vector<std::uint64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(indices_of({1, 2}), (std::vector<std::uint64_t>{4, 5, 6, 7}));
+}
+
+TEST(IndexGroup, PaperExamplePartitionGroupsW5) {
+  // For worker 5, level-2 partition groups: 5 xor {0,1,2,3} = {5,4,7,6} and
+  // 5 xor {4,5,6,7} = {1,0,3,2}.
+  EXPECT_EQ(partitions_of(5, {0, 2}),
+            (std::vector<std::uint64_t>{5, 4, 7, 6}));
+  EXPECT_EQ(partitions_of(5, {1, 2}),
+            (std::vector<std::uint64_t>{1, 0, 3, 2}));
+}
+
+TEST(IndexGroup, ChildrenPartitionTheParent) {
+  for (std::uint32_t n = 1; n <= 6; ++n) {
+    for (std::uint64_t x = 0; x < (64u >> n); ++x) {
+      const index_group g{x, n};
+      const auto [left, right] = children(g);
+      auto all = indices_of(left);
+      const auto r = indices_of(right);
+      all.insert(all.end(), r.begin(), r.end());
+      EXPECT_EQ(all, indices_of(g)) << "x=" << x << " n=" << n;
+      EXPECT_EQ(parent(left).x, g.x);
+      EXPECT_EQ(parent(left).n, g.n);
+      EXPECT_EQ(parent(right).x, g.x);
+    }
+  }
+}
+
+TEST(IndexGroup, Contains) {
+  const index_group g{3, 2};  // {12,13,14,15}
+  EXPECT_FALSE(g.contains(11));
+  EXPECT_TRUE(g.contains(12));
+  EXPECT_TRUE(g.contains(15));
+  EXPECT_FALSE(g.contains(16));
+}
+
+// The crux of Lemma 2: for a fixed level n, the level-n partition groups are
+// the SAME family of sets for every worker (the aligned 2^n blocks of the
+// partition space), because XOR by w permutes aligned blocks onto aligned
+// blocks. Hence when worker w loses partition y to worker w', the group w
+// was claiming coincides exactly with a group in w''s own hierarchy, and
+// w''s recursion covers it.
+TEST(PartitionGroup, SameFamilyForEveryWorker) {
+  constexpr std::uint64_t R = 64;
+  for (std::uint32_t n = 0; n <= 6; ++n) {
+    // Family for worker 0 = the aligned blocks themselves.
+    std::set<std::set<std::uint64_t>> family0;
+    for (std::uint64_t x = 0; x < (R >> n); ++x) {
+      family0.insert(as_set(partitions_of(0, {x, n})));
+    }
+    for (std::uint32_t w = 1; w < R; ++w) {
+      std::set<std::set<std::uint64_t>> familyw;
+      for (std::uint64_t x = 0; x < (R >> n); ++x) {
+        familyw.insert(as_set(partitions_of(w, {x, n})));
+      }
+      EXPECT_EQ(familyw, family0) << "w=" << w << " n=" << n;
+    }
+  }
+}
+
+TEST(PartitionGroup, GroupOfPartitionContainsIt) {
+  constexpr std::uint64_t R = 64;
+  for (std::uint32_t w = 0; w < R; w += 5) {
+    for (std::uint64_t r = 0; r < R; ++r) {
+      for (std::uint32_t n = 0; n <= 6; ++n) {
+        const index_group g = group_of_partition(w, r, n);
+        const auto parts = partitions_of(w, g);
+        EXPECT_NE(std::find(parts.begin(), parts.end(), r), parts.end())
+            << "w=" << w << " r=" << r << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(PartitionGroup, CaseAnalysisOfLemma2) {
+  // Reproduces the proof's case split: let worker w fail to claim the first
+  // partition of G(w, 2x, n-1) because w' holds it, w' != w. Then
+  // G(w, 2x, n-1) equals G(w', x', n-1) for the x' containing that
+  // partition, and G(w, 2x+1, n-1) equals G(w', x'^1, n-1) — the sibling,
+  // which w' claims immediately before or after x' depending on the parity
+  // of x'.
+  constexpr std::uint64_t R = 32;
+  constexpr std::uint32_t n = 3;  // work at level n, children at n-1
+  for (std::uint32_t w = 0; w < R; ++w) {
+    for (std::uint32_t wp = 0; wp < R; ++wp) {
+      if (w == wp) continue;
+      for (std::uint64_t x = 0; x < (R >> n); ++x) {
+        const index_group gl{2 * x, n - 1};
+        const index_group gr{2 * x + 1, n - 1};
+        const std::uint64_t y = w ^ gl.first();  // first partition w tries
+        const index_group gp = group_of_partition(wp, y, n - 1);
+        EXPECT_EQ(as_set(partitions_of(w, gl)),
+                  as_set(partitions_of(wp, gp)));
+        // Sibling correspondence (the proof's case 1 / case 2 in one line:
+        // XOR by 1 at position n-1 of x').
+        const index_group gp_sib{gp.x ^ 1, gp.n};
+        EXPECT_EQ(as_set(partitions_of(w, gr)),
+                  as_set(partitions_of(wp, gp_sib)));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hls::core

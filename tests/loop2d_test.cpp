@@ -1,0 +1,137 @@
+#include "sched/loop2d.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+namespace hls {
+namespace {
+
+class Loop2dPolicies : public ::testing::TestWithParam<policy> {};
+
+TEST_P(Loop2dPolicies, CoversEveryCellExactlyOnce) {
+  rt::runtime rt(4);
+  constexpr std::int64_t kRows = 123, kCols = 77;
+  std::vector<std::atomic<int>> hits(kRows * kCols);
+  for (auto& h : hits) h.store(0);
+  parallel_for_2d(rt, kRows, kCols, GetParam(),
+                  [&](std::int64_t r0, std::int64_t r1, std::int64_t c0,
+                      std::int64_t c1) {
+                    for (std::int64_t r = r0; r < r1; ++r) {
+                      for (std::int64_t c = c0; c < c1; ++c) {
+                        hits[r * kCols + c].fetch_add(1);
+                      }
+                    }
+                  });
+  for (std::int64_t i = 0; i < kRows * kCols; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "cell " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, Loop2dPolicies,
+                         ::testing::ValuesIn(kAllParallelPolicies),
+                         [](const auto& info) {
+                           return std::string(policy_name(info.param));
+                         });
+
+TEST(Loop2d, ExplicitTileShapeRespected) {
+  rt::runtime rt(2);
+  loop2d_options opt;
+  opt.tile_rows = 10;
+  opt.tile_cols = 16;
+  std::atomic<int> tiles{0};
+  std::atomic<int> full_tiles{0};
+  parallel_for_2d(
+      rt, 100, 64, policy::hybrid,
+      [&](std::int64_t r0, std::int64_t r1, std::int64_t c0, std::int64_t c1) {
+        tiles.fetch_add(1);
+        EXPECT_LE(r1 - r0, 10);
+        EXPECT_LE(c1 - c0, 16);
+        if (r1 - r0 == 10 && c1 - c0 == 16) full_tiles.fetch_add(1);
+        EXPECT_EQ(r0 % 10, 0);
+        EXPECT_EQ(c0 % 16, 0);
+      },
+      opt);
+  EXPECT_EQ(tiles.load(), 10 * 4);
+  EXPECT_EQ(full_tiles.load(), 10 * 4);  // 100/10 and 64/16 divide evenly
+}
+
+TEST(Loop2d, RaggedEdgesClipped) {
+  rt::runtime rt(2);
+  loop2d_options opt;
+  opt.tile_rows = 7;
+  opt.tile_cols = 7;
+  std::atomic<std::int64_t> cells{0};
+  parallel_for_2d(
+      rt, 20, 11, policy::dynamic_ws,
+      [&](std::int64_t r0, std::int64_t r1, std::int64_t c0, std::int64_t c1) {
+        EXPECT_LE(r1, 20);
+        EXPECT_LE(c1, 11);
+        cells.fetch_add((r1 - r0) * (c1 - c0));
+      },
+      opt);
+  EXPECT_EQ(cells.load(), 20 * 11);
+}
+
+TEST(Loop2d, EmptyDomainsAreNoOps) {
+  rt::runtime rt(2);
+  int calls = 0;
+  auto body = [&](std::int64_t, std::int64_t, std::int64_t, std::int64_t) {
+    ++calls;
+  };
+  parallel_for_2d(rt, 0, 10, policy::hybrid, body);
+  parallel_for_2d(rt, 10, 0, policy::hybrid, body);
+  parallel_for_2d(rt, -1, -1, policy::hybrid, body);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(Loop2d, DefaultTilingProducesReasonableTileCount) {
+  rt::runtime rt(4);
+  std::atomic<int> tiles{0};
+  parallel_for_2d(rt, 512, 512, policy::hybrid,
+                  [&](std::int64_t, std::int64_t, std::int64_t, std::int64_t) {
+                    tiles.fetch_add(1);
+                  });
+  // Target is ~8P = 32 tiles; allow generous slack for rounding.
+  EXPECT_GE(tiles.load(), 16);
+  EXPECT_LE(tiles.load(), 128);
+}
+
+TEST(Loop2d, MatrixScaleComputesCorrectly) {
+  rt::runtime rt(3);
+  constexpr std::int64_t kN = 64;
+  std::vector<double> m(kN * kN);
+  for (std::int64_t i = 0; i < kN * kN; ++i) m[i] = static_cast<double>(i);
+  parallel_for_2d(rt, kN, kN, policy::guided,
+                  [&](std::int64_t r0, std::int64_t r1, std::int64_t c0,
+                      std::int64_t c1) {
+                    for (std::int64_t r = r0; r < r1; ++r) {
+                      for (std::int64_t c = c0; c < c1; ++c) {
+                        m[r * kN + c] *= 2.0;
+                      }
+                    }
+                  });
+  for (std::int64_t i = 0; i < kN * kN; ++i) {
+    ASSERT_EQ(m[i], 2.0 * static_cast<double>(i));
+  }
+}
+
+TEST(Loop2d, SingleCellDomain) {
+  rt::runtime rt(2);
+  std::atomic<int> calls{0};
+  parallel_for_2d(rt, 1, 1, policy::hybrid,
+                  [&](std::int64_t r0, std::int64_t r1, std::int64_t c0,
+                      std::int64_t c1) {
+                    EXPECT_EQ(r0, 0);
+                    EXPECT_EQ(r1, 1);
+                    EXPECT_EQ(c0, 0);
+                    EXPECT_EQ(c1, 1);
+                    calls.fetch_add(1);
+                  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+}  // namespace
+}  // namespace hls

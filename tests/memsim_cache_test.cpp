@@ -1,0 +1,99 @@
+#include "memsim/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace hls::memsim {
+namespace {
+
+TEST(Cache, ColdMissThenHit) {
+  cache c(1 << 10, 2, 64);  // 16 lines, 8 sets x 2 ways
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(63));   // same line
+  EXPECT_FALSE(c.access(64));  // next line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, GeometryFromSizes) {
+  cache c(32 << 10, 8, 64);  // 32KB, 8-way: 64 sets
+  EXPECT_EQ(c.sets(), 64u);
+  EXPECT_EQ(c.ways(), 8u);
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  cache c(2 * 64, 2, 64);  // one set, two ways
+  EXPECT_EQ(c.sets(), 1u);
+  c.access(0 * 64);  // A
+  c.access(1 * 64);  // B
+  c.access(0 * 64);  // A hit -> B is LRU
+  c.access(2 * 64);  // C evicts B
+  EXPECT_TRUE(c.access(0 * 64));   // A still resident
+  EXPECT_FALSE(c.access(1 * 64));  // B was evicted
+}
+
+TEST(Cache, WorkingSetLargerThanCacheThrashes) {
+  cache c(1 << 10, 2, 64);  // 16 lines
+  constexpr int kLines = 64;
+  // Two sequential passes over 4x the capacity: second pass must miss too.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int l = 0; l < kLines; ++l) c.access(static_cast<uint64_t>(l) * 64);
+  }
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 2u * kLines);
+}
+
+TEST(Cache, WorkingSetWithinCacheAllHitsAfterWarmup) {
+  cache c(1 << 12, 4, 64);  // 64 lines
+  for (int l = 0; l < 32; ++l) c.access(static_cast<uint64_t>(l) * 64);
+  const std::uint64_t warm_misses = c.misses();
+  for (int pass = 0; pass < 3; ++pass) {
+    for (int l = 0; l < 32; ++l) c.access(static_cast<uint64_t>(l) * 64);
+  }
+  EXPECT_EQ(c.misses(), warm_misses);
+  EXPECT_EQ(c.hits(), 3u * 32);
+}
+
+TEST(Cache, ContainsDoesNotPerturb) {
+  cache c(2 * 64, 2, 64);
+  c.access(0);
+  c.access(64);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.contains(128));
+  // contains() must not have inserted 128.
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_TRUE(c.contains(64));
+}
+
+TEST(Cache, Invalidate) {
+  cache c(1 << 10, 2, 64);
+  c.access(0);
+  EXPECT_TRUE(c.contains(0));
+  c.invalidate(0);
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_FALSE(c.access(0));  // miss again
+}
+
+TEST(Cache, ClearResetsEverything) {
+  cache c(1 << 10, 2, 64);
+  c.access(0);
+  c.access(0);
+  c.clear();
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_FALSE(c.contains(0));
+}
+
+TEST(Cache, DistinctSetsDoNotConflict) {
+  cache c(4 * 64, 1, 64);  // 4 sets, direct-mapped
+  // Lines 0..3 map to distinct sets: all resident together.
+  for (std::uint64_t l = 0; l < 4; ++l) c.access(l * 64);
+  for (std::uint64_t l = 0; l < 4; ++l) EXPECT_TRUE(c.contains(l * 64));
+  // Line 4 conflicts with line 0 (same set), evicting it.
+  c.access(4 * 64);
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_TRUE(c.contains(1 * 64));
+}
+
+}  // namespace
+}  // namespace hls::memsim

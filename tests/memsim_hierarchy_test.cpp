@@ -1,0 +1,180 @@
+#include "memsim/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "memsim/replay.h"
+#include "workloads/micro.h"
+
+namespace hls::memsim {
+namespace {
+
+sim::machine_desc paper_machine() { return sim::machine_desc{}; }
+
+TEST(Hierarchy, FirstAccessIsLocalDramAfterLocalFirstTouch) {
+  hierarchy h(paper_machine());
+  h.page_home(0, 0);  // page homed at socket 0 (core 0's socket)
+  h.access(0, 0);
+  EXPECT_EQ(h.counts().dram_local, 1u);
+  EXPECT_EQ(h.counts().total(), 1u);
+}
+
+TEST(Hierarchy, FirstAccessIsRemoteDramAfterForeignFirstTouch) {
+  hierarchy h(paper_machine());
+  h.page_home(0, 31);  // homed at socket 3
+  h.access(0, 0);      // accessed from socket 0
+  EXPECT_EQ(h.counts().dram_remote, 1u);
+}
+
+TEST(Hierarchy, RepeatAccessHitsL1) {
+  hierarchy h(paper_machine());
+  h.access(0, 0);
+  h.access(0, 0);
+  h.access(0, 8);  // same line
+  EXPECT_EQ(h.counts().l1, 2u);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction) {
+  hierarchy h(paper_machine());
+  const auto& m = h.machine();
+  // Touch 2x L1 capacity of lines, then re-touch the first line: it should
+  // be out of L1 (32 KB) but still in L2 (256 KB).
+  const std::uint64_t lines = 2 * m.l1_bytes / m.line_bytes;
+  for (std::uint64_t l = 0; l < lines; ++l) h.access(0, l * m.line_bytes);
+  h.reset_counts();
+  h.access(0, 0);
+  EXPECT_EQ(h.counts().l2, 1u);
+}
+
+TEST(Hierarchy, SameSocketSharingServicedByL3) {
+  hierarchy h(paper_machine());
+  h.access(0, 0);      // core 0 pulls the line in
+  h.reset_counts();
+  h.access(1, 0);      // core 1, same socket: L3 hit
+  EXPECT_EQ(h.counts().l3, 1u);
+}
+
+TEST(Hierarchy, CrossSocketSharingServicedByRemoteL3) {
+  hierarchy h(paper_machine());
+  h.access(0, 0);      // socket 0 caches the line
+  h.reset_counts();
+  h.access(8, 0);      // core 8 = socket 1
+  EXPECT_EQ(h.counts().remote_l3, 1u);
+  // The line migrated: socket 1 now services it locally.
+  h.access(9, 0);
+  EXPECT_EQ(h.counts().l3, 1u);
+}
+
+TEST(Hierarchy, InferredLatencyUsesFig5Table) {
+  mem_counts c;
+  c.l2 = 10;
+  c.dram_local = 2;
+  const auto m = paper_machine();
+  EXPECT_DOUBLE_EQ(c.inferred_latency_ns(m, false),
+                   10 * m.lat_l2 + 2 * m.lat_dram_local);
+  c.l1 = 100;
+  EXPECT_DOUBLE_EQ(c.inferred_latency_ns(m, true),
+                   100 * m.lat_l1 + 10 * m.lat_l2 + 2 * m.lat_dram_local);
+}
+
+TEST(Hierarchy, CountsAccumulateAndReset) {
+  hierarchy h(paper_machine());
+  for (int i = 0; i < 10; ++i) h.access(0, static_cast<std::uint64_t>(i) * 64);
+  EXPECT_EQ(h.counts().total(), 10u);
+  h.reset_counts();
+  EXPECT_EQ(h.counts().total(), 0u);
+}
+
+// ------------------------- replay over real schedules ----------------------
+
+TEST(Replay, EveryScheduledIterationGeneratesItsLines) {
+  workloads::micro_params p;
+  p.iterations = 64;
+  p.total_bytes = 64 * 1024;  // 1 KB per region = 16 lines
+  p.outer_iterations = 1;
+  const auto w = workloads::micro_spec(p);
+
+  sim::sim_options opt;
+  opt.record_schedule = true;
+  const auto m = paper_machine().with_workers(4);
+  const auto r = sim::simulate(m, w, policy::static_part, opt);
+
+  hierarchy h(paper_machine());
+  const auto counts = replay_schedule(h, w, r.schedule, 4);
+  // 64 regions x 16 lines, each accessed once at line granularity, plus 7
+  // L1 element revisits per line.
+  EXPECT_EQ(counts.total() - counts.l1, 64u * 16u);
+  EXPECT_EQ(counts.l1, 64u * 16u * 7u);
+}
+
+TEST(Replay, StaticScheduleIsAllLocalDram) {
+  workloads::micro_params p;
+  p.iterations = 128;
+  p.total_bytes = 1ull << 20;
+  p.outer_iterations = 2;
+  const auto w = workloads::micro_spec(p);
+
+  sim::sim_options opt;
+  opt.record_schedule = true;
+  const auto m = paper_machine().with_workers(32);
+  const auto r = sim::simulate(m, w, policy::static_part, opt);
+
+  hierarchy h(paper_machine());
+  const auto counts = replay_schedule(h, w, r.schedule, 32);
+  // Static + NUMA-aware first touch: no remote DRAM, no remote L3.
+  EXPECT_EQ(counts.dram_remote, 0u);
+  EXPECT_EQ(counts.remote_l3, 0u);
+  EXPECT_GT(counts.dram_local, 0u);
+}
+
+TEST(Replay, HybridKeepsRemoteTrafficBelowVanilla) {
+  // Line-level confirmation of the Fig. 4 pattern.
+  workloads::micro_params p;
+  p.iterations = 512;
+  p.total_bytes = 32ull << 20;
+  p.outer_iterations = 3;
+  const auto w = workloads::micro_spec(p);
+  const auto m = paper_machine().with_workers(32);
+
+  auto run = [&](policy pol) {
+    sim::sim_options opt;
+    opt.record_schedule = true;
+    const auto r = sim::simulate(m, w, pol, opt);
+    hierarchy h(paper_machine());
+    return replay_schedule(h, w, r.schedule, 32);
+  };
+
+  const auto hybrid = run(policy::hybrid);
+  const auto vanilla = run(policy::dynamic_ws);
+  const double hybrid_remote =
+      static_cast<double>(hybrid.remote_l3 + hybrid.dram_remote);
+  const double vanilla_remote =
+      static_cast<double>(vanilla.remote_l3 + vanilla.dram_remote);
+  EXPECT_LT(hybrid_remote, vanilla_remote * 0.8);
+}
+
+TEST(Replay, ElementGranularityAgreesWithClusteredOnTotals) {
+  workloads::micro_params p;
+  p.iterations = 32;
+  p.total_bytes = 32 * 2048;
+  p.outer_iterations = 1;
+  const auto w = workloads::micro_spec(p);
+  const auto m = paper_machine().with_workers(4);
+  sim::sim_options sopt;
+  sopt.record_schedule = true;
+  const auto r = sim::simulate(m, w, policy::static_part, sopt);
+
+  replay_options fast, exact;
+  exact.element_granularity = true;
+  hierarchy h1(paper_machine()), h2(paper_machine());
+  const auto a = replay_schedule(h1, w, r.schedule, 4, fast);
+  const auto b = replay_schedule(h2, w, r.schedule, 4, exact);
+  EXPECT_EQ(a.total(), b.total());  // same number of element touches
+  // Non-L1 traffic should agree closely (revisits overwhelmingly hit L1).
+  const auto a_deep = a.total() - a.l1;
+  const auto b_deep = b.total() - b.l1;
+  EXPECT_NEAR(static_cast<double>(a_deep), static_cast<double>(b_deep),
+              0.15 * static_cast<double>(a_deep));
+}
+
+}  // namespace
+}  // namespace hls::memsim

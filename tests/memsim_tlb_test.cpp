@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "memsim/hierarchy.h"
+
+namespace hls::memsim {
+namespace {
+
+sim::machine_desc paper_machine() { return sim::machine_desc{}; }
+
+TEST(Tlb, RepeatAccessesWithinAPageHitL1Tlb) {
+  hierarchy h(paper_machine());
+  for (int i = 0; i < 64; ++i) {
+    h.access(0, static_cast<std::uint64_t>(i) * 64);  // one 4 KB page
+  }
+  const auto& t = h.tlb();
+  EXPECT_EQ(t.walks, 1u);  // the first touch
+  EXPECT_EQ(t.l1_hits, 63u);
+  EXPECT_EQ(t.total(), 64u);
+}
+
+TEST(Tlb, WorkingSetWithin64PagesStaysInDtlb) {
+  hierarchy h(paper_machine());
+  // Warm 32 pages, then loop over them again: all translations L1-TLB hits.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int p = 0; p < 32; ++p) {
+      h.access(0, static_cast<std::uint64_t>(p) * 4096);
+    }
+  }
+  EXPECT_EQ(h.tlb().walks, 32u);
+  EXPECT_EQ(h.tlb().l1_hits, 32u);
+}
+
+TEST(Tlb, LargerWorkingSetSpillsToStlb) {
+  hierarchy h(paper_machine());
+  constexpr int kPages = 256;  // > 64 L1 entries, < 512 L2 entries
+  for (int pass = 0; pass < 3; ++pass) {
+    for (int p = 0; p < kPages; ++p) {
+      h.access(0, static_cast<std::uint64_t>(p) * 4096);
+    }
+  }
+  const auto& t = h.tlb();
+  EXPECT_EQ(t.walks, kPages);         // cold pass only
+  EXPECT_GT(t.l2_hits, 2u * kPages / 2);  // later passes serviced by STLB
+}
+
+TEST(Tlb, HugeRandomishSpanKeepsWalking) {
+  hierarchy h(paper_machine());
+  std::uint64_t page = 1;
+  int walks_expected_floor = 0;
+  for (int i = 0; i < 4000; ++i) {
+    page = (page * 2654435761u) % 1000000;  // ~1M distinct pages
+    h.access(0, page * 4096);
+    ++walks_expected_floor;
+  }
+  // Nearly every translation misses both TLB levels.
+  EXPECT_GT(h.tlb().walks, 3500u);
+}
+
+TEST(Tlb, PerCoreTlbsAreIndependent) {
+  hierarchy h(paper_machine());
+  h.access(0, 0);
+  h.access(1, 0);  // same page, different core: its own cold walk
+  EXPECT_EQ(h.tlb().walks, 2u);
+}
+
+TEST(Tlb, EveryDemandAccessIsTranslated) {
+  hierarchy h(paper_machine());
+  for (int i = 0; i < 500; ++i) {
+    h.access(static_cast<std::uint32_t>(i % 4),
+             static_cast<std::uint64_t>(i) * 64);
+  }
+  EXPECT_EQ(h.tlb().total(), 500u);
+  EXPECT_EQ(h.counts().total(), 500u);
+}
+
+}  // namespace
+}  // namespace hls::memsim

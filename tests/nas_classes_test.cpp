@@ -1,0 +1,73 @@
+#include "workloads/nas_classes.h"
+
+#include <gtest/gtest.h>
+
+namespace hls::workloads::nas {
+namespace {
+
+TEST(NpbClasses, NamesRoundTrip) {
+  for (npb_class c :
+       {npb_class::T, npb_class::S, npb_class::W, npb_class::A}) {
+    const auto parsed = npb_class_from_name(npb_class_name(c));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, c);
+  }
+  EXPECT_FALSE(npb_class_from_name("Z").has_value());
+  EXPECT_EQ(npb_class_from_name("s"), npb_class::S);
+}
+
+TEST(NpbClasses, MatchNpbPublishedSizes) {
+  // NPB 3.3.1 class table.
+  EXPECT_EQ(ep_class(npb_class::S).m, 24);
+  EXPECT_EQ(ep_class(npb_class::W).m, 25);
+  EXPECT_EQ(ep_class(npb_class::A).m, 28);
+
+  EXPECT_EQ(is_class(npb_class::S).total_keys, 1 << 16);
+  EXPECT_EQ(is_class(npb_class::S).key_bits, 11);
+  EXPECT_EQ(is_class(npb_class::A).total_keys, 1 << 23);
+  EXPECT_EQ(is_class(npb_class::A).key_bits, 19);
+
+  EXPECT_EQ(cg_class(npb_class::S).n, 1400);
+  EXPECT_EQ(cg_class(npb_class::S).shift, 10.0);
+  EXPECT_EQ(cg_class(npb_class::A).n, 14000);
+  EXPECT_EQ(cg_class(npb_class::A).shift, 20.0);
+
+  EXPECT_EQ(1 << mg_class(npb_class::S).log2_size, 32);
+  EXPECT_EQ(1 << mg_class(npb_class::A).log2_size, 256);
+
+  EXPECT_EQ(1 << ft_class(npb_class::S).log2_nx, 64);
+  EXPECT_EQ(ft_class(npb_class::S).time_steps, 6);
+  EXPECT_EQ(1 << ft_class(npb_class::W).log2_nz, 32);
+}
+
+TEST(NpbClasses, SizesAreMonotoneAcrossClasses) {
+  EXPECT_LT(ep_class(npb_class::T).m, ep_class(npb_class::S).m);
+  EXPECT_LT(is_class(npb_class::S).total_keys,
+            is_class(npb_class::W).total_keys);
+  EXPECT_LT(cg_class(npb_class::W).n, cg_class(npb_class::A).n);
+  EXPECT_LT(mg_class(npb_class::S).log2_size,
+            mg_class(npb_class::W).log2_size);
+}
+
+TEST(NpbClasses, ClassSKernelsRunAndVerify) {
+  rt::runtime rt(2);
+  {
+    auto p = is_class(npb_class::S);
+    p.iterations = 3;  // keep the test fast; NPB runs 10
+    is_bench b(p);
+    EXPECT_TRUE(b.run(rt, policy::hybrid).verified);
+  }
+  {
+    auto p = cg_class(npb_class::S);
+    p.outer_iterations = 2;  // NPB runs 15
+    cg_bench b(p);
+    EXPECT_TRUE(b.run(rt, policy::hybrid).verified);
+  }
+  {
+    mg_bench b(mg_class(npb_class::S));
+    EXPECT_TRUE(b.run(rt, policy::hybrid).verified);
+  }
+}
+
+}  // namespace
+}  // namespace hls::workloads::nas

@@ -1,0 +1,90 @@
+#include "workloads/ep.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hls::workloads::nas {
+namespace {
+
+ep_params small() {
+  ep_params p;
+  p.m = 13;
+  p.block_log2 = 8;
+  return p;
+}
+
+TEST(Ep, SerialStatisticallySane) {
+  const ep_result r = ep_run_serial(small());
+  const double n = std::pow(2.0, small().m);
+  // Acceptance ~ pi/4; Gaussian sums near zero.
+  EXPECT_NEAR(static_cast<double>(r.pairs_accepted) / n, 0.785, 0.01);
+  EXPECT_LT(std::fabs(r.sx) / std::sqrt(n), 4.0);
+  EXPECT_LT(std::fabs(r.sy) / std::sqrt(n), 4.0);
+  // Annulus counts decrease past the first bins.
+  for (std::size_t b = 1; b + 1 < r.q.size(); ++b) {
+    EXPECT_GE(r.q[b], r.q[b + 1]) << "bin " << b;
+  }
+  // Total tallied pairs = accepted pairs.
+  double qtot = 0;
+  for (double q : r.q) qtot += q;
+  EXPECT_DOUBLE_EQ(qtot, static_cast<double>(r.pairs_accepted));
+}
+
+class EpPolicies : public ::testing::TestWithParam<policy> {};
+
+TEST_P(EpPolicies, MatchesSerialExactly) {
+  rt::runtime rt(4);
+  const ep_params p = small();
+  const ep_result ref = ep_run_serial(p);
+  const ep_result got = ep_run(rt, p, GetParam());
+  EXPECT_EQ(got.pairs_accepted, ref.pairs_accepted);
+  for (std::size_t b = 0; b < ref.q.size(); ++b) {
+    EXPECT_DOUBLE_EQ(got.q[b], ref.q[b]) << "bin " << b;
+  }
+  EXPECT_NEAR(got.sx, ref.sx, 1e-9 * std::fabs(ref.sx) + 1e-9);
+  EXPECT_NEAR(got.sy, ref.sy, 1e-9 * std::fabs(ref.sy) + 1e-9);
+  const kernel_result kr = ep_verify(got, p);
+  EXPECT_TRUE(kr.verified) << kr.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, EpPolicies,
+                         ::testing::ValuesIn(kAllParallelPolicies),
+                         [](const auto& info) {
+                           return std::string(policy_name(info.param));
+                         });
+
+TEST(Ep, BlockSizeDoesNotChangeResult) {
+  rt::runtime rt(2);
+  ep_params p1 = small(), p2 = small();
+  p1.block_log2 = 6;
+  p2.block_log2 = 11;
+  const ep_result a = ep_run(rt, p1, policy::hybrid);
+  const ep_result b = ep_run(rt, p2, policy::hybrid);
+  EXPECT_EQ(a.pairs_accepted, b.pairs_accepted);
+  EXPECT_NEAR(a.sx, b.sx, 1e-9 * std::fabs(a.sx));
+}
+
+TEST(Ep, VerifyRejectsCorruptedTallies) {
+  const ep_params p = small();
+  ep_result r = ep_run_serial(p);
+  r.pairs_accepted += 1;
+  EXPECT_FALSE(ep_verify(r, p).verified);
+}
+
+TEST(Ep, ChecksumDiscriminates) {
+  ep_result a = ep_run_serial(small());
+  ep_result b = a;
+  b.q[3] += 1;
+  EXPECT_NE(a.checksum(), b.checksum());
+}
+
+TEST(Ep, SpecShapeIsOneBalancedLoop) {
+  const auto w = ep_spec(small());
+  ASSERT_EQ(w.loops.size(), 1u);
+  EXPECT_EQ(w.loops[0].n, (1 << 13) / (1 << 8));
+  EXPECT_EQ(w.loops[0].cpu(0), w.loops[0].cpu(w.loops[0].n - 1));
+}
+
+}  // namespace
+}  // namespace hls::workloads::nas

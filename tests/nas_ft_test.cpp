@@ -1,0 +1,165 @@
+#include "workloads/ft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace hls::workloads::nas {
+namespace {
+
+ft_params tiny() {
+  ft_params p;
+  p.log2_nx = 3;
+  p.log2_ny = 3;
+  p.log2_nz = 3;
+  p.time_steps = 2;
+  return p;
+}
+
+TEST(Fft1d, MatchesNaiveDftForward) {
+  constexpr std::int64_t kN = 16;
+  std::vector<cplx> x(kN), ref(kN, cplx(0, 0));
+  for (std::int64_t i = 0; i < kN; ++i) {
+    x[i] = cplx(std::sin(0.3 * static_cast<double>(i)),
+                std::cos(0.7 * static_cast<double>(i)));
+  }
+  for (std::int64_t k = 0; k < kN; ++k) {
+    for (std::int64_t j = 0; j < kN; ++j) {
+      const double ang = -2.0 * std::numbers::pi * static_cast<double>(k * j) /
+                         static_cast<double>(kN);
+      ref[k] += x[j] * cplx(std::cos(ang), std::sin(ang));
+    }
+  }
+  fft1d(x.data(), kN, 1, -1);
+  for (std::int64_t k = 0; k < kN; ++k) {
+    EXPECT_NEAR(x[k].real(), ref[k].real(), 1e-10) << k;
+    EXPECT_NEAR(x[k].imag(), ref[k].imag(), 1e-10) << k;
+  }
+}
+
+TEST(Fft1d, RoundTripIdentity) {
+  constexpr std::int64_t kN = 64;
+  std::vector<cplx> x(kN), orig(kN);
+  for (std::int64_t i = 0; i < kN; ++i) {
+    x[i] = orig[i] = cplx(static_cast<double>(i % 7), 0.25 * i);
+  }
+  fft1d(x.data(), kN, 1, -1);
+  fft1d(x.data(), kN, 1, +1);
+  for (std::int64_t i = 0; i < kN; ++i) {
+    EXPECT_NEAR(x[i].real() / kN, orig[i].real(), 1e-10);
+    EXPECT_NEAR(x[i].imag() / kN, orig[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft1d, StridedViewTransformsCorrectly) {
+  constexpr std::int64_t kN = 8, kStride = 5;
+  std::vector<cplx> packed(kN), strided(kN * kStride, cplx(-1, -1));
+  for (std::int64_t i = 0; i < kN; ++i) {
+    packed[i] = cplx(std::cos(0.5 * i), std::sin(1.1 * i));
+    strided[i * kStride] = packed[i];
+  }
+  fft1d(packed.data(), kN, 1, -1);
+  fft1d(strided.data(), kN, kStride, -1);
+  for (std::int64_t i = 0; i < kN; ++i) {
+    EXPECT_NEAR(strided[i * kStride].real(), packed[i].real(), 1e-12);
+    EXPECT_NEAR(strided[i * kStride].imag(), packed[i].imag(), 1e-12);
+  }
+  // Untouched gap elements stay untouched.
+  EXPECT_EQ(strided[1], cplx(-1, -1));
+}
+
+TEST(Ft3d, RoundTripIdentity) {
+  ft_bench b(tiny());
+  rt::runtime rt(4);
+  std::vector<cplx> grid = b.initial();
+  b.fft3d(rt, grid, -1, policy::hybrid);
+  b.fft3d(rt, grid, +1, policy::hybrid);
+  const auto& orig = b.initial();
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    ASSERT_NEAR(grid[i].real(), orig[i].real(), 1e-10);
+    ASSERT_NEAR(grid[i].imag(), orig[i].imag(), 1e-10);
+  }
+}
+
+TEST(Ft3d, ParsevalHolds) {
+  ft_bench b(tiny());
+  rt::runtime rt(2);
+  std::vector<cplx> grid = b.initial();
+  double phys = 0.0;
+  for (const auto& c : grid) phys += std::norm(c);
+  b.fft3d(rt, grid, -1, policy::dynamic_ws);
+  double spec = 0.0;
+  for (const auto& c : grid) spec += std::norm(c);
+  EXPECT_NEAR(spec / static_cast<double>(b.cells()), phys,
+              1e-9 * phys);
+}
+
+TEST(Ft3d, DcBinIsFieldSum) {
+  ft_bench b(tiny());
+  rt::runtime rt(2);
+  std::vector<cplx> grid = b.initial();
+  cplx sum(0, 0);
+  for (const auto& c : grid) sum += c;
+  b.fft3d(rt, grid, -1, policy::guided);
+  EXPECT_NEAR(grid[0].real(), sum.real(), 1e-9);
+  EXPECT_NEAR(grid[0].imag(), sum.imag(), 1e-9);
+}
+
+class FtPolicies : public ::testing::TestWithParam<policy> {};
+
+TEST_P(FtPolicies, FullRunVerifies) {
+  rt::runtime rt(4);
+  ft_bench b(tiny());
+  const kernel_result kr = b.run(rt, GetParam());
+  EXPECT_TRUE(kr.verified) << kr.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, FtPolicies,
+                         ::testing::ValuesIn(kAllParallelPolicies),
+                         [](const auto& info) {
+                           return std::string(policy_name(info.param));
+                         });
+
+TEST(Ft, ChecksumsMatchAcrossPolicies) {
+  rt::runtime rt(3);
+  double ref = 0.0;
+  bool first = true;
+  for (policy pol : kAllParallelPolicies) {
+    ft_bench b(tiny());
+    const auto kr = b.run(rt, pol);
+    ASSERT_TRUE(kr.verified) << policy_name(pol);
+    if (first) {
+      ref = kr.checksum;
+      first = false;
+    } else {
+      EXPECT_NEAR(kr.checksum, ref, 1e-10 * std::fabs(ref) + 1e-14)
+          << policy_name(pol);
+    }
+  }
+}
+
+TEST(Ft, NonCubicGrid) {
+  ft_params p;
+  p.log2_nx = 4;
+  p.log2_ny = 3;
+  p.log2_nz = 2;
+  p.time_steps = 2;
+  ft_bench b(p);
+  rt::runtime rt(2);
+  EXPECT_EQ(b.nx(), 16);
+  EXPECT_EQ(b.ny(), 8);
+  EXPECT_EQ(b.nz(), 4);
+  const auto kr = b.run(rt, policy::hybrid);
+  EXPECT_TRUE(kr.verified) << kr.detail;
+}
+
+TEST(Ft, SpecHasEvolvePlusThreePasses) {
+  const auto w = ft_spec(tiny());
+  EXPECT_EQ(w.loops.size(), 4u);
+  EXPECT_EQ(w.loops[1].n, 8 * 8);  // nx*ny pencils along z
+  EXPECT_EQ(w.outer_iterations, tiny().time_steps);
+}
+
+}  // namespace
+}  // namespace hls::workloads::nas

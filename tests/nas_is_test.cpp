@@ -1,0 +1,130 @@
+#include "workloads/is.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace hls::workloads::nas {
+namespace {
+
+is_params small() {
+  is_params p;
+  p.total_keys = 1 << 12;
+  p.key_bits = 8;
+  p.iterations = 4;
+  return p;
+}
+
+TEST(Is, KeysInRange) {
+  is_bench b(small());
+  const auto max_key = std::int32_t{1} << small().key_bits;
+  for (auto k : b.keys()) {
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, max_key);
+  }
+}
+
+TEST(Is, KeyDistributionIsCenterHeavy) {
+  // The average-of-four-deviates construction is approximately binomial:
+  // the middle quartile must hold far more keys than the outer quartiles.
+  is_bench b(small());
+  const auto max_key = std::int32_t{1} << small().key_bits;
+  std::int64_t low = 0, mid = 0, high = 0;
+  for (auto k : b.keys()) {
+    if (k < max_key / 4) {
+      ++low;
+    } else if (k < 3 * max_key / 4) {
+      ++mid;
+    } else {
+      ++high;
+    }
+  }
+  EXPECT_GT(mid, 5 * low);
+  EXPECT_GT(mid, 5 * high);
+}
+
+class IsPolicies : public ::testing::TestWithParam<policy> {};
+
+TEST_P(IsPolicies, RanksYieldSortedPermutation) {
+  rt::runtime rt(4);
+  is_bench b(small());
+  const kernel_result kr = b.run(rt, GetParam());
+  EXPECT_TRUE(kr.verified) << kr.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, IsPolicies,
+                         ::testing::ValuesIn(kAllParallelPolicies),
+                         [](const auto& info) {
+                           return std::string(policy_name(info.param));
+                         });
+
+TEST(Is, RanksAreAPermutation) {
+  rt::runtime rt(2);
+  is_bench b(small());
+  b.rank_iteration(rt, 0, policy::hybrid);
+  std::vector<char> seen(b.ranks().size(), 0);
+  for (auto r : b.ranks()) {
+    ASSERT_GE(r, 0);
+    ASSERT_LT(static_cast<std::size_t>(r), seen.size());
+    ASSERT_EQ(seen[static_cast<std::size_t>(r)], 0);
+    seen[static_cast<std::size_t>(r)] = 1;
+  }
+}
+
+TEST(Is, RanksRespectKeyOrder) {
+  rt::runtime rt(2);
+  is_bench b(small());
+  b.rank_iteration(rt, 0, policy::dynamic_ws);
+  const auto& keys = b.keys();
+  const auto& ranks = b.ranks();
+  for (std::size_t i = 0; i < keys.size(); i += 37) {
+    for (std::size_t j = i + 1; j < std::min(keys.size(), i + 31); ++j) {
+      if (keys[i] < keys[j]) {
+        EXPECT_LT(ranks[i], ranks[j]);
+      } else if (keys[i] > keys[j]) {
+        EXPECT_GT(ranks[i], ranks[j]);
+      }
+    }
+  }
+}
+
+TEST(Is, StableWithinEqualKeys) {
+  rt::runtime rt(2);
+  is_bench b(small());
+  b.rank_iteration(rt, 0, policy::static_part);
+  const auto& keys = b.keys();
+  const auto& ranks = b.ranks();
+  // Stability: equal keys keep index order.
+  for (std::size_t i = 0; i + 1 < keys.size(); ++i) {
+    if (keys[i] == keys[i + 1]) {
+      EXPECT_LT(ranks[i], ranks[i + 1]);
+    }
+  }
+}
+
+TEST(Is, ChecksumMatchesAcrossPolicies) {
+  rt::runtime rt(3);
+  double ref = 0.0;
+  bool first = true;
+  for (policy pol : kAllParallelPolicies) {
+    is_bench b(small());
+    const auto kr = b.run(rt, pol);
+    ASSERT_TRUE(kr.verified) << policy_name(pol);
+    if (first) {
+      ref = kr.checksum;
+      first = false;
+    } else {
+      EXPECT_EQ(kr.checksum, ref) << policy_name(pol);
+    }
+  }
+}
+
+TEST(Is, SpecHasTwoLoopsPerIteration) {
+  const auto w = is_spec(small());
+  EXPECT_EQ(w.loops.size(), 2u);
+  EXPECT_EQ(w.outer_iterations, small().iterations);
+}
+
+}  // namespace
+}  // namespace hls::workloads::nas

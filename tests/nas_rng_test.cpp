@@ -1,0 +1,94 @@
+#include "util/nas_rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hls::nas {
+namespace {
+
+TEST(NasRng, DeviatesInUnitInterval) {
+  double x = kDefaultSeed;
+  for (int i = 0; i < 100000; ++i) {
+    const double r = randlc(&x, kDefaultMult);
+    ASSERT_GT(r, 0.0);
+    ASSERT_LT(r, 1.0);
+  }
+}
+
+TEST(NasRng, StateStaysIntegralBelow2Pow46) {
+  double x = kDefaultSeed;
+  for (int i = 0; i < 10000; ++i) {
+    randlc(&x, kDefaultMult);
+    ASSERT_EQ(x, static_cast<double>(static_cast<std::int64_t>(x)));
+    ASSERT_LT(x, kT46);
+    ASSERT_GE(x, 0.0);
+  }
+}
+
+TEST(NasRng, VranlcMatchesRandlc) {
+  double xa = kDefaultSeed, xb = kDefaultSeed;
+  std::vector<double> ys(512);
+  vranlc(512, &xa, kDefaultMult, ys.data());
+  for (int i = 0; i < 512; ++i) {
+    EXPECT_EQ(ys[i], randlc(&xb, kDefaultMult));
+  }
+  EXPECT_EQ(xa, xb);
+}
+
+TEST(NasRng, SkipAheadMatchesSequentialDraws) {
+  for (std::uint64_t n : {0ull, 1ull, 2ull, 7ull, 100ull, 12345ull}) {
+    double x = kDefaultSeed;
+    for (std::uint64_t i = 0; i < n; ++i) randlc(&x, kDefaultMult);
+    EXPECT_EQ(skip_ahead(kDefaultSeed, kDefaultMult, n), x) << "n=" << n;
+  }
+}
+
+TEST(NasRng, SkipAheadComposes) {
+  // skip(skip(s, a, m), a, n) == skip(s, a, m + n)
+  const double s1 = skip_ahead(kDefaultSeed, kDefaultMult, 1000);
+  const double s2 = skip_ahead(s1, kDefaultMult, 2345);
+  EXPECT_EQ(s2, skip_ahead(kDefaultSeed, kDefaultMult, 3345));
+}
+
+TEST(NasRng, Ipow46IsAToThePow2K) {
+  // ipow46(a, k) == a^(2^k) mod 2^46 == state after 2^k - 1 extra steps
+  // starting from seed a with multiplier a.
+  for (int k = 0; k < 8; ++k) {
+    const double direct = ipow46(kDefaultMult, k);
+    const double via_skip =
+        skip_ahead(kDefaultMult, kDefaultMult, (1ull << k) - 1);
+    EXPECT_EQ(direct, via_skip) << "k=" << k;
+  }
+}
+
+TEST(NasRng, MeanIsHalf) {
+  double x = kDefaultSeed;
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += randlc(&x, kDefaultMult);
+  EXPECT_NEAR(sum / kN, 0.5, 0.005);
+}
+
+TEST(NasRng, EpSeedStreamSplitsAreDisjointAndConsistent) {
+  // The EP kernel gives iteration j the stream starting at seed advanced by
+  // 2*j*chunk draws. Check a parallel split reproduces the serial stream.
+  constexpr int kChunk = 16;
+  constexpr int kChunks = 8;
+  std::vector<double> serial(kChunk * kChunks);
+  double x = kDefaultSeed;
+  vranlc(kChunk * kChunks, &x, kDefaultMult, serial.data());
+
+  for (int c = 0; c < kChunks; ++c) {
+    double xs = skip_ahead(kDefaultSeed, kDefaultMult,
+                           static_cast<std::uint64_t>(c) * kChunk);
+    std::vector<double> part(kChunk);
+    vranlc(kChunk, &xs, kDefaultMult, part.data());
+    for (int i = 0; i < kChunk; ++i) {
+      EXPECT_EQ(part[i], serial[c * kChunk + i]) << "chunk " << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hls::nas

@@ -1,0 +1,144 @@
+#include "sched/reduce.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace hls {
+namespace {
+
+class ReducePolicies : public ::testing::TestWithParam<policy> {};
+
+TEST_P(ReducePolicies, IntegerSumIsExact) {
+  rt::runtime rt(4);
+  constexpr std::int64_t kN = 100000;
+  const auto sum = parallel_sum<std::int64_t>(
+      rt, 0, kN, GetParam(), [](std::int64_t i) { return i; });
+  EXPECT_EQ(sum, kN * (kN - 1) / 2);
+}
+
+TEST_P(ReducePolicies, MinMaxViaCustomCombine) {
+  rt::runtime rt(3);
+  constexpr std::int64_t kN = 4096;
+  // Value pattern with an interior minimum and maximum.
+  auto value = [](std::int64_t i) {
+    return static_cast<double>((i * 2654435761u) % 10007) - 5000.0;
+  };
+  const double mx = parallel_reduce(
+      rt, 0, kN, GetParam(), -1e300,
+      [&](std::int64_t lo, std::int64_t hi) {
+        double m = -1e300;
+        for (std::int64_t i = lo; i < hi; ++i) m = std::max(m, value(i));
+        return m;
+      },
+      [](double a, double b) { return std::max(a, b); });
+  double expect = -1e300;
+  for (std::int64_t i = 0; i < kN; ++i) expect = std::max(expect, value(i));
+  EXPECT_DOUBLE_EQ(mx, expect);
+}
+
+TEST_P(ReducePolicies, StructReduction) {
+  struct acc {
+    std::int64_t count = 0;
+    std::int64_t sum = 0;
+  };
+  rt::runtime rt(4);
+  constexpr std::int64_t kN = 10000;
+  const acc got = parallel_reduce(
+      rt, 0, kN, GetParam(), acc{},
+      [](std::int64_t lo, std::int64_t hi) {
+        acc a;
+        for (std::int64_t i = lo; i < hi; ++i) {
+          if (i % 3 == 0) {
+            ++a.count;
+            a.sum += i;
+          }
+        }
+        return a;
+      },
+      [](acc a, const acc& b) {
+        a.count += b.count;
+        a.sum += b.sum;
+        return a;
+      });
+  EXPECT_EQ(got.count, (kN + 2) / 3);
+  std::int64_t expect_sum = 0;
+  for (std::int64_t i = 0; i < kN; i += 3) expect_sum += i;
+  EXPECT_EQ(got.sum, expect_sum);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ReducePolicies,
+                         ::testing::ValuesIn(kAllParallelPolicies),
+                         [](const auto& info) {
+                           return std::string(policy_name(info.param));
+                         });
+
+TEST(Reduce, EmptyRangeYieldsIdentity) {
+  rt::runtime rt(2);
+  const auto sum = parallel_sum<std::int64_t>(
+      rt, 10, 10, policy::hybrid, [](std::int64_t) { return 7; });
+  EXPECT_EQ(sum, 0);
+}
+
+TEST(Reduce, SerialPolicyMatchesPlainLoop) {
+  rt::runtime rt(1);
+  const auto sum = parallel_sum<double>(
+      rt, 0, 1000, policy::serial,
+      [](std::int64_t i) { return 1.0 / (1.0 + static_cast<double>(i)); });
+  double expect = 0.0;
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    expect += 1.0 / (1.0 + static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(sum, expect);
+}
+
+TEST(Reduce, DeterministicUnderStaticSchedule) {
+  rt::runtime rt(4);
+  auto run = [&] {
+    return parallel_sum<double>(rt, 0, 100000, policy::static_part,
+                                [](std::int64_t i) { return std::sqrt(i); });
+  };
+  const double a = run();
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_EQ(run(), a) << "static lanes are deterministic bit-for-bit";
+  }
+}
+
+TEST(Reduce, NestedReductionsDoNotLoseUpdates) {
+  // Outer reduction whose chunk function runs an inner parallel reduction —
+  // the suspension-point hazard the lane update ordering guards against.
+  rt::runtime rt(4);
+  constexpr std::int64_t kOuter = 32;
+  constexpr std::int64_t kInner = 500;
+  const auto total = parallel_reduce(
+      rt, 0, kOuter, policy::dynamic_ws, std::int64_t{0},
+      [&](std::int64_t lo, std::int64_t hi) {
+        std::int64_t local = 0;
+        for (std::int64_t o = lo; o < hi; ++o) {
+          local += parallel_sum<std::int64_t>(
+              rt, 0, kInner, policy::hybrid,
+              [](std::int64_t i) { return i; });
+        }
+        return local;
+      },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
+  EXPECT_EQ(total, kOuter * (kInner * (kInner - 1) / 2));
+}
+
+TEST(Reduce, StringConcatenationCountsAllPieces) {
+  // Non-arithmetic type: combine is associative but not commutative; the
+  // total length is schedule-independent even though the order may vary.
+  rt::runtime rt(3);
+  const std::string s = parallel_reduce(
+      rt, 0, 64, policy::guided, std::string{},
+      [](std::int64_t lo, std::int64_t hi) {
+        return std::string(static_cast<std::size_t>(hi - lo), 'x');
+      },
+      [](std::string a, const std::string& b) { return a + b; });
+  EXPECT_EQ(s.size(), 64u);
+}
+
+}  // namespace
+}  // namespace hls

@@ -1,0 +1,187 @@
+#include "runtime/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "runtime/task.h"
+#include "util/rng.h"
+
+namespace hls::rt {
+namespace {
+
+class counting_task final : public task {
+ public:
+  explicit counting_task(std::atomic<int>& counter) : counter_(counter) {}
+  void execute(worker&) override { counter_.fetch_add(1); }
+
+ private:
+  std::atomic<int>& counter_;
+};
+
+// Task that records which worker executed it.
+class who_task final : public task {
+ public:
+  who_task(std::atomic<int>& counter, std::atomic<std::uint32_t>& who)
+      : counter_(counter), who_(who) {}
+  void execute(worker& w) override {
+    who_.store(w.id());
+    counter_.fetch_add(1);
+  }
+
+ private:
+  std::atomic<int>& counter_;
+  std::atomic<std::uint32_t>& who_;
+};
+
+TEST(Runtime, ConstructsAndDestructsAcrossWorkerCounts) {
+  for (std::uint32_t p : {1u, 2u, 4u, 8u}) {
+    runtime rt(p);
+    EXPECT_EQ(rt.num_workers(), p);
+  }
+}
+
+TEST(Runtime, ZeroWorkersClampedToOne) {
+  runtime rt(0);
+  EXPECT_EQ(rt.num_workers(), 1u);
+}
+
+TEST(Runtime, CallerThreadIsWorkerZero) {
+  runtime rt(4);
+  EXPECT_EQ(rt.current_worker().id(), 0u);
+}
+
+TEST(Runtime, LocalTasksRunViaWorkUntil) {
+  runtime rt(1);
+  worker& w = rt.current_worker();
+  std::atomic<int> count{0};
+  constexpr int kN = 100;
+  for (int i = 0; i < kN; ++i) w.push(new counting_task(count));
+  w.work_until([&] { return count.load() == kN; });
+  EXPECT_EQ(count.load(), kN);
+}
+
+TEST(Runtime, BackgroundWorkersStealPushedTasks) {
+  runtime rt(4);
+  worker& w = rt.current_worker();
+  std::atomic<int> count{0};
+  constexpr int kN = 2000;
+  for (int i = 0; i < kN; ++i) w.push(new counting_task(count));
+  w.work_until([&] { return count.load() == kN; });
+  EXPECT_EQ(count.load(), kN);
+}
+
+TEST(Runtime, TasksPushedToOtherWorkersGetExecuted) {
+  runtime rt(3);
+  // Pushing to another worker's deque from this thread violates the owner
+  // contract, so instead push to our own and verify a background worker can
+  // end up executing (smoke test for stealing): run many tiny tasks and
+  // check at least one executes on a non-zero worker under contention.
+  worker& w = rt.current_worker();
+  std::atomic<int> count{0};
+  std::atomic<std::uint32_t> last_worker{0};
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) w.push(new who_task(count, last_worker));
+  w.work_until([&] { return count.load() == kN; });
+  EXPECT_EQ(count.load(), kN);
+  // No assertion on last_worker: on a single-core host thieves may never
+  // win; the value is only observed for coverage.
+}
+
+TEST(Runtime, NestedTaskPushesFromWorkerThread) {
+  runtime rt(2);
+  worker& w = rt.current_worker();
+  std::atomic<int> leaves{0};
+
+  class spawning_task final : public task {
+   public:
+    spawning_task(std::atomic<int>& leaves, int depth)
+        : leaves_(leaves), depth_(depth) {}
+    void execute(worker& w) override {
+      if (depth_ == 0) {
+        leaves_.fetch_add(1);
+        return;
+      }
+      w.push(new spawning_task(leaves_, depth_ - 1));
+      w.push(new spawning_task(leaves_, depth_ - 1));
+    }
+
+   private:
+    std::atomic<int>& leaves_;
+    int depth_;
+  };
+
+  w.push(new spawning_task(leaves, 10));  // 2^10 leaves
+  w.work_until([&] { return leaves.load() == 1024; });
+  EXPECT_EQ(leaves.load(), 1024);
+}
+
+TEST(Board, PostVisitClear) {
+  runtime rt(1);
+  struct one_shot : loop_record {
+    std::atomic<bool> did{false};
+    bool participate(worker&) override {
+      return !did.exchange(true);
+    }
+    bool finished() const noexcept override { return did.load(); }
+  };
+  auto rec = std::make_shared<one_shot>();
+  board& b = rt.loop_board();
+  EXPECT_FALSE(b.any_open());
+  const int slot = b.post(rec);
+  EXPECT_TRUE(b.any_open());
+  EXPECT_TRUE(b.visit(rt.current_worker()));
+  EXPECT_TRUE(rec->did.load());
+  EXPECT_FALSE(b.visit(rt.current_worker()));  // finished
+  b.clear(slot);
+  EXPECT_FALSE(b.any_open());
+}
+
+TEST(Board, MultipleRecordsAllVisited) {
+  runtime rt(1);
+  struct one_shot : loop_record {
+    std::atomic<bool> did{false};
+    bool participate(worker&) override { return !did.exchange(true); }
+    bool finished() const noexcept override { return did.load(); }
+  };
+  board& b = rt.loop_board();
+  auto r1 = std::make_shared<one_shot>();
+  auto r2 = std::make_shared<one_shot>();
+  const int s1 = b.post(r1);
+  const int s2 = b.post(r2);
+  EXPECT_NE(s1, s2);
+  b.visit(rt.current_worker());
+  EXPECT_TRUE(r1->did.load());
+  EXPECT_TRUE(r2->did.load());
+  b.clear(s1);
+  b.clear(s2);
+}
+
+TEST(Runtime, WorkerRngSeedsAreIndependent) {
+  // Worker RNGs are owner-thread-only, so probe the seed-derivation scheme
+  // directly: the runtime seeds worker k with the k-th splitmix64 output,
+  // and distinct splitmix seeds yield distinct first draws.
+  std::uint64_t sm = 42;  // the runtime's default seed
+  hls::xoshiro256ss r0(hls::splitmix64(sm));
+  hls::xoshiro256ss r1(hls::splitmix64(sm));
+  hls::xoshiro256ss r2(hls::splitmix64(sm));
+  const std::uint64_t a = r0.next(), b = r1.next(), c = r2.next();
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_NE(a, c);
+}
+
+TEST(Runtime, SequentialRuntimesDoNotInterfere) {
+  for (int i = 0; i < 5; ++i) {
+    runtime rt(3);
+    worker& w = rt.current_worker();
+    std::atomic<int> count{0};
+    for (int j = 0; j < 50; ++j) w.push(new counting_task(count));
+    w.work_until([&] { return count.load() == 50; });
+    EXPECT_EQ(count.load(), 50);
+  }
+}
+
+}  // namespace
+}  // namespace hls::rt

@@ -1,0 +1,142 @@
+// Scheduler feature tests: exception propagation out of parallel loops and
+// runtime statistics counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+#include "sched/loop.h"
+
+namespace hls {
+namespace {
+
+class ExceptionPolicies : public ::testing::TestWithParam<policy> {};
+
+TEST_P(ExceptionPolicies, BodyExceptionPropagatesToCaller) {
+  rt::runtime rt(4);
+  EXPECT_THROW(
+      for_each(rt, 0, 10000, GetParam(),
+               [](std::int64_t i) {
+                 if (i == 5000) throw std::runtime_error("boom");
+               }),
+      std::runtime_error);
+}
+
+TEST_P(ExceptionPolicies, ExceptionMessageIsPreserved) {
+  rt::runtime rt(2);
+  try {
+    for_each(rt, 0, 1000, GetParam(), [](std::int64_t i) {
+      if (i == 1) throw std::runtime_error("specific message");
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "specific message");
+  }
+}
+
+TEST_P(ExceptionPolicies, RuntimeUsableAfterException) {
+  rt::runtime rt(4);
+  try {
+    for_each(rt, 0, 1000, GetParam(),
+             [](std::int64_t) { throw std::logic_error("x"); });
+  } catch (const std::logic_error&) {
+  }
+  // The same runtime must schedule subsequent loops correctly.
+  std::atomic<std::int64_t> count{0};
+  for_each(rt, 0, 5000, GetParam(), [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 5000);
+}
+
+TEST_P(ExceptionPolicies, OnlyFirstExceptionIsReported) {
+  rt::runtime rt(4);
+  std::atomic<int> throws{0};
+  try {
+    for_each(rt, 0, 10000, GetParam(), [&](std::int64_t) {
+      throws.fetch_add(1);
+      throw std::runtime_error("one of many");
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error&) {
+  }
+  // Chunks after the first failure are skipped, so far fewer than N bodies
+  // ran (at least one did).
+  EXPECT_GE(throws.load(), 1);
+  EXPECT_LT(throws.load(), 10000);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ExceptionPolicies,
+                         ::testing::ValuesIn(kAllParallelPolicies),
+                         [](const auto& info) {
+                           return std::string(policy_name(info.param));
+                         });
+
+TEST(Exceptions, SerialPolicyThrowsDirectly) {
+  rt::runtime rt(1);
+  EXPECT_THROW(parallel_for(rt, 0, 10, policy::serial,
+                            [](std::int64_t, std::int64_t) {
+                              throw std::out_of_range("serial");
+                            }),
+               std::out_of_range);
+}
+
+TEST(Exceptions, NestedLoopInnerThrowPropagatesThroughOuter) {
+  rt::runtime rt(2);
+  EXPECT_THROW(
+      for_each(rt, 0, 4, policy::dynamic_ws,
+               [&](std::int64_t) {
+                 for_each(rt, 0, 100, policy::hybrid, [](std::int64_t i) {
+                   if (i == 50) throw std::runtime_error("inner");
+                 });
+               }),
+      std::runtime_error);
+}
+
+TEST(RuntimeStats, CountersAdvanceWithWork) {
+  rt::runtime rt(4);
+  const auto before = rt.stats_snapshot();
+  for (int rep = 0; rep < 3; ++rep) {
+    for_each(rt, 0, 1 << 14, policy::dynamic_ws, [](std::int64_t) {});
+  }
+  const auto after = rt.stats_snapshot();
+  EXPECT_GT(after.tasks_run, before.tasks_run);
+  EXPECT_GE(after.steals, before.steals);
+  EXPECT_GE(after.steal_probes, after.steals);
+}
+
+TEST(RuntimeStats, BoardParticipationCountedForWorkSharing) {
+  rt::runtime rt(4);
+  const auto before = rt.stats_snapshot();
+  for (int rep = 0; rep < 5; ++rep) {
+    for_each(rt, 0, 1 << 14, policy::dynamic_shared, [](std::int64_t) {});
+  }
+  const auto after = rt.stats_snapshot();
+  // Background workers join shared-queue loops through the board when they
+  // win the race; on an oversubscribed host the posting worker may drain
+  // the queue alone, so only monotonicity is guaranteed.
+  EXPECT_GE(after.board_participations, before.board_participations);
+  EXPECT_GE(after.tasks_run, before.tasks_run);
+}
+
+TEST(RuntimeStats, SingleWorkerNeverSteals) {
+  rt::runtime rt(1);
+  for_each(rt, 0, 10000, policy::hybrid, [](std::int64_t) {});
+  const auto s = rt.stats_snapshot();
+  EXPECT_EQ(s.steals, 0u);
+  EXPECT_EQ(s.steal_probes, 0u);
+}
+
+TEST(RuntimeStats, AggregationSums) {
+  rt::worker_stats a, b;
+  a.tasks_run = 3;
+  a.steals = 1;
+  b.tasks_run = 4;
+  b.steal_probes = 9;
+  a += b;
+  EXPECT_EQ(a.tasks_run, 7u);
+  EXPECT_EQ(a.steals, 1u);
+  EXPECT_EQ(a.steal_probes, 9u);
+}
+
+}  // namespace
+}  // namespace hls

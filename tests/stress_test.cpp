@@ -1,0 +1,122 @@
+// Torture tests: randomized mixes of policies, loop shapes, nesting,
+// reductions, task groups, and runtime lifetimes, each validating
+// exactly-once execution and correct results. These are the long-running
+// confidence tests for the runtime's concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "sched/loop.h"
+#include "sched/reduce.h"
+#include "sched/task_group.h"
+#include "util/rng.h"
+
+namespace hls {
+namespace {
+
+policy random_policy(xoshiro256ss& rng) {
+  return kAllParallelPolicies[rng.next_below(
+      std::size(kAllParallelPolicies))];
+}
+
+TEST(Stress, RandomLoopMixExactlyOnce) {
+  rt::runtime rt(4);
+  xoshiro256ss rng(2024);
+  for (int round = 0; round < 150; ++round) {
+    const std::int64_t n = 1 + static_cast<std::int64_t>(rng.next_below(3000));
+    const policy pol = random_policy(rng);
+    loop_options opt;
+    if (rng.next_below(3) == 0) {
+      opt.grain = 1 + static_cast<std::int64_t>(rng.next_below(64));
+    }
+    if (pol == policy::hybrid && rng.next_below(3) == 0) {
+      opt.partitions = 1 + static_cast<std::uint32_t>(rng.next_below(64));
+    }
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    for (auto& h : hits) h.store(0);
+    for_each(rt, 0, n, pol, [&](std::int64_t i) { hits[i].fetch_add(1); },
+             opt);
+    for (std::int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1)
+          << "round " << round << " " << policy_name(pol) << " n=" << n;
+    }
+  }
+}
+
+TEST(Stress, RandomNestedLoops) {
+  rt::runtime rt(4);
+  xoshiro256ss rng(7);
+  for (int round = 0; round < 30; ++round) {
+    const std::int64_t outer = 2 + static_cast<std::int64_t>(rng.next_below(6));
+    const std::int64_t inner =
+        16 + static_cast<std::int64_t>(rng.next_below(200));
+    const policy op = random_policy(rng);
+    const policy ip = random_policy(rng);
+    std::atomic<std::int64_t> total{0};
+    for_each(rt, 0, outer, op, [&](std::int64_t) {
+      for_each(rt, 0, inner, ip,
+               [&](std::int64_t) { total.fetch_add(1); });
+    });
+    ASSERT_EQ(total.load(), outer * inner)
+        << policy_name(op) << "/" << policy_name(ip);
+  }
+}
+
+TEST(Stress, ReductionsInterleavedWithLoops) {
+  rt::runtime rt(3);
+  xoshiro256ss rng(99);
+  for (int round = 0; round < 60; ++round) {
+    const std::int64_t n = 100 + static_cast<std::int64_t>(rng.next_below(2000));
+    const policy pol = random_policy(rng);
+    const auto sum = parallel_sum<std::int64_t>(
+        rt, 0, n, pol, [](std::int64_t i) { return 2 * i + 1; });
+    ASSERT_EQ(sum, n * n) << "sum of first n odd numbers";
+  }
+}
+
+TEST(Stress, TaskGroupsAndLoopsMixed) {
+  rt::runtime rt(4);
+  std::atomic<std::int64_t> total{0};
+  for (int round = 0; round < 20; ++round) {
+    task_group tg(rt);
+    for (int s = 0; s < 6; ++s) {
+      tg.spawn([&rt, &total] {
+        for_each(rt, 0, 500, policy::hybrid,
+                 [&total](std::int64_t) { total.fetch_add(1); });
+      });
+    }
+    for_each(rt, 0, 500, policy::guided,
+             [&total](std::int64_t) { total.fetch_add(1); });
+    tg.wait();
+  }
+  EXPECT_EQ(total.load(), 20 * (6 + 1) * 500);
+}
+
+TEST(Stress, ManyRuntimeLifetimes) {
+  xoshiro256ss rng(4242);
+  for (int i = 0; i < 25; ++i) {
+    rt::runtime rt(1 + (i % 6));
+    std::atomic<int> count{0};
+    for_each(rt, 0, 777, random_policy(rng),
+             [&](std::int64_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 777);
+  }
+}
+
+TEST(Stress, WideLoopOnManyWorkers) {
+  // More workers than hardware threads: heavy oversubscription must still
+  // be correct (this host has few cores, so this exercises preemption at
+  // arbitrary points).
+  rt::runtime rt(16);
+  std::vector<std::atomic<int>> hits(1 << 15);
+  for (auto& h : hits) h.store(0);
+  for (policy pol : kAllParallelPolicies) {
+    for (auto& h : hits) h.store(0);
+    for_each(rt, 0, 1 << 15, pol, [&](std::int64_t i) { hits[i].fetch_add(1); });
+    for (auto& h : hits) ASSERT_EQ(h.load(), 1) << policy_name(pol);
+  }
+}
+
+}  // namespace
+}  // namespace hls

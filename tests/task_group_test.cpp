@@ -1,0 +1,128 @@
+#include "sched/task_group.h"
+
+#include "sched/loop.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace hls {
+namespace {
+
+TEST(TaskGroup, RunsAllSpawnedTasks) {
+  rt::runtime rt(4);
+  std::atomic<int> count{0};
+  task_group tg(rt);
+  for (int i = 0; i < 1000; ++i) {
+    tg.spawn([&count] { count.fetch_add(1); });
+  }
+  tg.wait();
+  EXPECT_EQ(count.load(), 1000);
+  EXPECT_EQ(tg.pending(), 0);
+}
+
+TEST(TaskGroup, WaitIsIdempotent) {
+  rt::runtime rt(2);
+  std::atomic<int> count{0};
+  task_group tg(rt);
+  tg.spawn([&count] { count.fetch_add(1); });
+  tg.wait();
+  tg.wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(TaskGroup, EmptyGroupWaitsImmediately) {
+  rt::runtime rt(2);
+  task_group tg(rt);
+  tg.wait();
+  SUCCEED();
+}
+
+TEST(TaskGroup, DestructorJoins) {
+  rt::runtime rt(3);
+  std::atomic<int> count{0};
+  {
+    task_group tg(rt);
+    for (int i = 0; i < 100; ++i) tg.spawn([&count] { count.fetch_add(1); });
+    // no explicit wait
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+std::int64_t serial_fib(int n) {
+  return n < 2 ? n : serial_fib(n - 1) + serial_fib(n - 2);
+}
+
+std::int64_t parallel_fib(rt::runtime& rt, int n) {
+  if (n < 10) return serial_fib(n);
+  std::int64_t left = 0, right = 0;
+  task_group tg(rt);
+  tg.spawn([&] { left = parallel_fib(rt, n - 1); });
+  right = parallel_fib(rt, n - 2);
+  tg.wait();
+  return left + right;
+}
+
+TEST(TaskGroup, RecursiveForkJoinFib) {
+  rt::runtime rt(4);
+  EXPECT_EQ(parallel_fib(rt, 22), serial_fib(22));
+}
+
+TEST(TaskGroup, NestedGroups) {
+  rt::runtime rt(4);
+  std::atomic<int> leaves{0};
+  task_group outer(rt);
+  for (int i = 0; i < 8; ++i) {
+    outer.spawn([&rt, &leaves] {
+      task_group inner(rt);
+      for (int j = 0; j < 32; ++j) {
+        inner.spawn([&leaves] { leaves.fetch_add(1); });
+      }
+      inner.wait();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(leaves.load(), 8 * 32);
+}
+
+TEST(TaskGroup, ExceptionRethrownFromWait) {
+  rt::runtime rt(2);
+  task_group tg(rt);
+  tg.spawn([] { throw std::runtime_error("spawned failure"); });
+  EXPECT_THROW(tg.wait(), std::runtime_error);
+  // Group remains usable after the error was consumed.
+  std::atomic<int> count{0};
+  tg.spawn([&count] { count.fetch_add(1); });
+  tg.wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(TaskGroup, SpawnedTasksCanUseParallelFor) {
+  rt::runtime rt(4);
+  std::atomic<std::int64_t> sum{0};
+  task_group tg(rt);
+  for (int part = 0; part < 4; ++part) {
+    tg.spawn([&rt, &sum, part] {
+      for_each(rt, part * 1000, (part + 1) * 1000, policy::hybrid,
+               [&sum](std::int64_t i) { sum.fetch_add(i); });
+    });
+  }
+  tg.wait();
+  EXPECT_EQ(sum.load(), 3999ll * 4000 / 2);
+}
+
+TEST(TaskGroup, ManySmallGroupsSequentially) {
+  rt::runtime rt(2);
+  std::atomic<int> total{0};
+  for (int g = 0; g < 200; ++g) {
+    task_group tg(rt);
+    for (int i = 0; i < 10; ++i) tg.spawn([&total] { total.fetch_add(1); });
+    tg.wait();
+  }
+  EXPECT_EQ(total.load(), 2000);
+}
+
+}  // namespace
+}  // namespace hls

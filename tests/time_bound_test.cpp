@@ -1,0 +1,111 @@
+// T3: empirical validation of the paper's running-time bounds.
+//
+// Corollary 6: with R = P partitions, a hybrid loop over n iterations runs
+// in T_P <= T_1/P + c * (P + lg n + max_span) for some constant c. We
+// sweep n and P in the discrete-event simulator with a compute-only
+// workload (no memory effects, so T_1 is exact) and check that the
+// overhead term T_P - T_1/P is bounded by c * (P + lg n) with one global
+// constant — and that it does NOT grow linearly in n (which would falsify
+// the bound's form).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/engine.h"
+
+namespace hls::sim {
+namespace {
+
+workload_spec compute_loop(std::int64_t n, double iter_ns) {
+  workload_spec w;
+  w.name = "bound";
+  w.outer_iterations = 1;
+  w.region_count = 1;
+  w.total_bytes = 0;
+  loop_spec ls;
+  ls.n = n;
+  ls.cpu_ns = [iter_ns](std::int64_t) { return iter_ns; };
+  ls.bytes = [](std::int64_t) -> std::uint64_t { return 0; };
+  w.loops.push_back(std::move(ls));
+  return w;
+}
+
+double overhead_ns(std::int64_t n, std::uint32_t p, double iter_ns) {
+  machine_desc m;
+  m.workers = p;
+  const auto w = compute_loop(n, iter_ns);
+  const double t1 = static_cast<double>(n) * iter_ns;  // exact work
+  const auto r = simulate(m, w, policy::hybrid);
+  return r.makespan_ns - t1 / static_cast<double>(p);
+}
+
+TEST(TimeBound, OverheadBoundedByPplusLgN) {
+  // One global constant c must cover every (n, P) combination.
+  // Scheduling costs in the model are O(100 ns) per event; c = 2000 ns per
+  // (P + lg n) unit is a generous constant that the bound must respect
+  // while linear-in-n growth would blow through it at the large sizes.
+  constexpr double kC = 2000.0;
+  for (std::uint32_t p : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    for (std::int64_t n : {1000, 10000, 100000, 1000000}) {
+      const double ov = overhead_ns(n, p, 50.0);
+      const double budget =
+          kC * (static_cast<double>(p) + std::log2(static_cast<double>(n)));
+      EXPECT_LE(ov, budget) << "P=" << p << " n=" << n << " ov=" << ov;
+    }
+  }
+}
+
+TEST(TimeBound, OverheadDoesNotScaleLinearlyWithN) {
+  // Growing n by 100x must grow the overhead far less than 100x.
+  const double small = std::max(1.0, overhead_ns(10000, 16, 50.0));
+  const double large = std::max(1.0, overhead_ns(1000000, 16, 50.0));
+  EXPECT_LT(large, small * 20.0);
+}
+
+TEST(TimeBound, OverheadGrowsAtMostModeratelyWithP) {
+  // The bound's O(P) term: doubling P should not blow up overhead
+  // super-linearly.
+  const double p4 = std::max(1.0, overhead_ns(100000, 4, 50.0));
+  const double p32 = std::max(1.0, overhead_ns(100000, 32, 50.0));
+  EXPECT_LT(p32, p4 * 32.0);
+}
+
+TEST(TimeBound, HybridWithinConstantFactorOfVanilla) {
+  // The paper: hybrid pays only an additive O(P) over the classic
+  // work-stealing bound T1/P + O(lg n + span). On a balanced compute
+  // workload the two makespans must be within a few percent.
+  machine_desc m;
+  m.workers = 32;
+  const auto w = compute_loop(200000, 80.0);
+  const double th = simulate(m, w, policy::hybrid).makespan_ns;
+  const double tv = simulate(m, w, policy::dynamic_ws).makespan_ns;
+  EXPECT_LT(th, tv * 1.10);
+  EXPECT_LT(tv, th * 1.25);
+}
+
+TEST(TimeBound, UnbalancedSpanDominatedByHeaviestIteration) {
+  // With one iteration holding half the total work, TP is pinned near that
+  // iteration's span for every load-balancing policy (T_inf term).
+  machine_desc m;
+  m.workers = 8;
+  workload_spec w;
+  w.name = "spike";
+  w.outer_iterations = 1;
+  w.region_count = 1;
+  loop_spec ls;
+  ls.n = 1000;
+  ls.cpu_ns = [](std::int64_t i) { return i == 500 ? 500000.0 : 500.0; };
+  ls.bytes = [](std::int64_t) -> std::uint64_t { return 0; };
+  ls.grain = 1;  // the spike must be its own chunk
+  w.loops.push_back(std::move(ls));
+
+  for (policy pol : {policy::hybrid, policy::dynamic_ws, policy::guided}) {
+    const auto r = simulate(m, w, pol);
+    EXPECT_GE(r.makespan_ns, 500000.0) << policy_name(pol);
+    EXPECT_LE(r.makespan_ns, 500000.0 + 999 * 500.0) << policy_name(pol);
+  }
+}
+
+}  // namespace
+}  // namespace hls::sim

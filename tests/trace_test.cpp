@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "trace/affinity.h"
+#include "trace/loop_trace.h"
+
+namespace hls::trace {
+namespace {
+
+TEST(LoopTrace, RecordsChunksPerWorker) {
+  loop_trace t(3);
+  t.record(0, 0, 10);
+  t.record(1, 10, 20);
+  t.record(0, 20, 30);
+  EXPECT_EQ(t.of_worker(0).size(), 2u);
+  EXPECT_EQ(t.of_worker(1).size(), 1u);
+  EXPECT_EQ(t.of_worker(2).size(), 0u);
+  EXPECT_EQ(t.chunk_count(), 3u);
+  EXPECT_EQ(t.total_iterations(), 30);
+}
+
+TEST(LoopTrace, SortedBySeqPreservesGlobalOrder) {
+  loop_trace t(2);
+  t.record(1, 5, 6);
+  t.record(0, 0, 1);
+  t.record(1, 6, 7);
+  const auto all = t.sorted_by_seq();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].worker, 1u);
+  EXPECT_EQ(all[0].begin, 5);
+  EXPECT_EQ(all[1].worker, 0u);
+  EXPECT_EQ(all[2].begin, 6);
+  EXPECT_LT(all[0].seq, all[1].seq);
+  EXPECT_LT(all[1].seq, all[2].seq);
+}
+
+TEST(LoopTrace, IterationOwners) {
+  loop_trace t(2);
+  t.record(0, 0, 4);
+  t.record(1, 4, 8);
+  const auto owners = t.iteration_owners(0, 8);
+  ASSERT_EQ(owners.size(), 8u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(owners[i], 0u);
+  for (int i = 4; i < 8; ++i) EXPECT_EQ(owners[i], 1u);
+}
+
+TEST(LoopTrace, IterationOwnersMarksGaps) {
+  loop_trace t(1);
+  t.record(0, 2, 4);
+  const auto owners = t.iteration_owners(0, 6);
+  EXPECT_EQ(owners[0], loop_trace::kNoOwner);
+  EXPECT_EQ(owners[2], 0u);
+  EXPECT_EQ(owners[3], 0u);
+  EXPECT_EQ(owners[5], loop_trace::kNoOwner);
+}
+
+TEST(LoopTrace, IterationOwnersClipsToWindow) {
+  loop_trace t(1);
+  t.record(0, 0, 100);
+  const auto owners = t.iteration_owners(90, 95);
+  ASSERT_EQ(owners.size(), 5u);
+  for (auto o : owners) EXPECT_EQ(o, 0u);
+}
+
+TEST(LoopTrace, ClearResets) {
+  loop_trace t(2);
+  t.record(0, 0, 10);
+  t.clear();
+  EXPECT_EQ(t.chunk_count(), 0u);
+  EXPECT_EQ(t.total_iterations(), 0);
+  t.record(1, 0, 5);
+  EXPECT_EQ(t.sorted_by_seq()[0].seq, 0u);
+}
+
+TEST(Affinity, IdenticalOwnersGiveOne) {
+  const std::vector<std::uint32_t> a{0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(same_owner_fraction(a, a), 1.0);
+}
+
+TEST(Affinity, DisjointOwnersGiveZero) {
+  const std::vector<std::uint32_t> a{0, 0, 0, 0};
+  const std::vector<std::uint32_t> b{1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(same_owner_fraction(a, b), 0.0);
+}
+
+TEST(Affinity, PartialOverlap) {
+  const std::vector<std::uint32_t> a{0, 1, 2, 3};
+  const std::vector<std::uint32_t> b{0, 1, 9, 9};
+  EXPECT_DOUBLE_EQ(same_owner_fraction(a, b), 0.5);
+}
+
+TEST(Affinity, MismatchedSizesGiveZero) {
+  const std::vector<std::uint32_t> a{0, 1};
+  const std::vector<std::uint32_t> b{0};
+  EXPECT_DOUBLE_EQ(same_owner_fraction(a, b), 0.0);
+}
+
+TEST(Affinity, MeterAveragesConsecutivePairs) {
+  affinity_meter m;
+  m.observe({0, 1, 2, 3});
+  EXPECT_EQ(m.pairs(), 0u);
+  EXPECT_DOUBLE_EQ(m.average(), 0.0);
+  m.observe({0, 1, 2, 3});  // pair 1: 1.0
+  m.observe({9, 1, 2, 3});  // pair 2: 0.75
+  EXPECT_EQ(m.pairs(), 2u);
+  EXPECT_DOUBLE_EQ(m.average(), 0.875);
+}
+
+TEST(Affinity, MeterReset) {
+  affinity_meter m;
+  m.observe({0});
+  m.observe({0});
+  EXPECT_EQ(m.pairs(), 1u);
+  m.reset();
+  EXPECT_EQ(m.pairs(), 0u);
+  m.observe({1});
+  EXPECT_EQ(m.pairs(), 0u);
+}
+
+}  // namespace
+}  // namespace hls::trace

@@ -1,0 +1,84 @@
+#include "util/bits.h"
+
+#include <gtest/gtest.h>
+
+namespace hls {
+namespace {
+
+TEST(Bits, NextPow2Basics) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(4), 4u);
+  EXPECT_EQ(next_pow2(5), 8u);
+  EXPECT_EQ(next_pow2(1023), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(Bits, NextPow2IsAlwaysPow2AndGe) {
+  for (std::uint64_t x = 1; x < 10000; ++x) {
+    const std::uint64_t p = next_pow2(x);
+    EXPECT_TRUE(is_pow2(p)) << x;
+    EXPECT_GE(p, x);
+    EXPECT_LT(p / 2, x) << "not minimal for " << x;
+  }
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 63));
+  EXPECT_FALSE(is_pow2((1ull << 63) + 1));
+}
+
+TEST(Bits, Lsb) {
+  EXPECT_EQ(lsb(0), 0u);
+  EXPECT_EQ(lsb(1), 1u);
+  EXPECT_EQ(lsb(2), 2u);
+  EXPECT_EQ(lsb(3), 1u);
+  EXPECT_EQ(lsb(12), 4u);
+  EXPECT_EQ(lsb(0x80), 0x80u);
+  EXPECT_EQ(lsb(0xFF00), 0x100u);
+}
+
+TEST(Bits, LsbIsPowerOfTwoDividingX) {
+  for (std::uint64_t x = 1; x < 4096; ++x) {
+    const std::uint64_t b = lsb(x);
+    EXPECT_TRUE(is_pow2(b));
+    EXPECT_EQ(x % b, 0u);
+    EXPECT_NE((x / b) % 2, 0u) << "quotient must be odd";
+  }
+}
+
+TEST(Bits, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0u);
+  EXPECT_EQ(ilog2(2), 1u);
+  EXPECT_EQ(ilog2(3), 1u);
+  EXPECT_EQ(ilog2(4), 2u);
+  EXPECT_EQ(ilog2(1ull << 40), 40u);
+}
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+  EXPECT_EQ(ceil_div(8, 4), 2u);
+}
+
+}  // namespace
+}  // namespace hls

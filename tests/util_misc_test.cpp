@@ -1,0 +1,118 @@
+// Coverage for small utilities: function_ref, cache-line padding, and the
+// simulated machine topology.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "sim/machine.h"
+#include "util/cacheline.h"
+#include "util/function_ref.h"
+
+namespace hls {
+namespace {
+
+int twice(int x) { return 2 * x; }
+
+TEST(FunctionRef, CallsLambda) {
+  int captured = 7;
+  auto fn = [&captured](int x) { return x + captured; };
+  function_ref<int(int)> ref = fn;
+  EXPECT_EQ(ref(3), 10);
+  captured = 100;
+  EXPECT_EQ(ref(3), 103) << "non-owning: sees live captures";
+}
+
+TEST(FunctionRef, CallsFreeFunction) {
+  function_ref<int(int)> ref = twice;
+  EXPECT_EQ(ref(21), 42);
+}
+
+TEST(FunctionRef, VoidReturnAndReferencesPass) {
+  std::string target;
+  auto fn = [&target](const std::string& s) { target = s; };
+  function_ref<void(const std::string&)> ref = fn;
+  ref("hello");
+  EXPECT_EQ(target, "hello");
+}
+
+TEST(FunctionRef, DefaultConstructedIsFalse) {
+  function_ref<void()> ref;
+  EXPECT_FALSE(static_cast<bool>(ref));
+  auto fn = [] {};
+  ref = fn;
+  EXPECT_TRUE(static_cast<bool>(ref));
+}
+
+TEST(FunctionRef, MutableCallableState) {
+  int count = 0;
+  auto fn = [&count]() { return ++count; };
+  function_ref<int()> ref = fn;
+  EXPECT_EQ(ref(), 1);
+  EXPECT_EQ(ref(), 2);
+}
+
+TEST(Padded, SizeAndAlignment) {
+  EXPECT_EQ(sizeof(padded<std::atomic<std::uint64_t>>), kCacheLine);
+  EXPECT_EQ(alignof(padded<double>), kCacheLine);
+  padded<int> arr[4];
+  // Adjacent elements live on distinct lines.
+  const auto a = reinterpret_cast<std::uintptr_t>(&arr[0].value);
+  const auto b = reinterpret_cast<std::uintptr_t>(&arr[1].value);
+  EXPECT_GE(b - a, kCacheLine);
+}
+
+TEST(Padded, AccessOperators) {
+  padded<int> p(41);
+  EXPECT_EQ(*p, 41);
+  *p += 1;
+  EXPECT_EQ(p.value, 42);
+  padded<std::string> s(std::string("x"));
+  EXPECT_EQ(s->size(), 1u);
+}
+
+TEST(MachineDesc, PaperTopology) {
+  sim::machine_desc m;
+  EXPECT_EQ(m.total_cores, 32u);
+  EXPECT_EQ(m.sockets, 4u);
+  EXPECT_EQ(m.cores_per_socket(), 8u);
+}
+
+TEST(MachineDesc, CompactPinning) {
+  sim::machine_desc m;
+  EXPECT_EQ(m.socket_of(0), 0u);
+  EXPECT_EQ(m.socket_of(7), 0u);
+  EXPECT_EQ(m.socket_of(8), 1u);
+  EXPECT_EQ(m.socket_of(31), 3u);
+}
+
+TEST(MachineDesc, SocketsUsed) {
+  sim::machine_desc m;
+  EXPECT_EQ(m.sockets_used(1), 1u);
+  EXPECT_EQ(m.sockets_used(8), 1u);
+  EXPECT_EQ(m.sockets_used(9), 2u);
+  EXPECT_EQ(m.sockets_used(16), 2u);
+  EXPECT_EQ(m.sockets_used(32), 4u);
+}
+
+TEST(MachineDesc, WithWorkersPreservesTopology) {
+  sim::machine_desc m;
+  const auto m4 = m.with_workers(4);
+  EXPECT_EQ(m4.workers, 4u);
+  EXPECT_EQ(m4.total_cores, 32u);
+  EXPECT_EQ(m4.cores_per_socket(), 8u);
+  EXPECT_EQ(m.with_workers(0).workers, 1u);
+}
+
+TEST(MachineDesc, Fig5LatenciesAreTheModelInputs) {
+  sim::machine_desc m;
+  EXPECT_DOUBLE_EQ(m.lat_l1, 4.1);
+  EXPECT_DOUBLE_EQ(m.lat_l2, 12.2);
+  EXPECT_DOUBLE_EQ(m.lat_l3, 41.4);
+  EXPECT_DOUBLE_EQ(m.lat_dram_local, 246.7);
+  EXPECT_LT(m.lat_remote_l3, m.lat_dram_remote);
+  EXPECT_GT(m.lat_remote_l3, m.lat_dram_local);
+}
+
+}  // namespace
+}  // namespace hls

@@ -1,0 +1,76 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace hls {
+namespace {
+
+TEST(Rng, Deterministic) {
+  xoshiro256ss a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer) {
+  xoshiro256ss a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowInRange) {
+  xoshiro256ss r(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(r.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  xoshiro256ss r(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  xoshiro256ss r(42);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[r.next_below(kBuckets)];
+  const double expect = static_cast<double>(kDraws) / kBuckets;
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], expect, expect * 0.05) << "bucket " << b;
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  xoshiro256ss r(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, SplitmixExpandsDistinctStates) {
+  std::uint64_t s = 0;
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(splitmix64(s));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<xoshiro256ss>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hls

@@ -1,0 +1,73 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace hls {
+namespace {
+
+TEST(Stats, EmptySummary) {
+  const summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.rel_stddev(), 0.0);
+}
+
+TEST(Stats, SingleValue) {
+  const std::array<double, 1> xs{4.5};
+  const summary s = summarize(xs);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+  EXPECT_DOUBLE_EQ(s.min, 4.5);
+  EXPECT_DOUBLE_EQ(s.max, 4.5);
+}
+
+TEST(Stats, KnownValues) {
+  const std::array<double, 5> xs{2.0, 4.0, 4.0, 4.0, 6.0};
+  const summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_NEAR(s.stddev, 1.4142135, 1e-6);  // sample stddev, n-1
+  EXPECT_DOUBLE_EQ(s.median, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+}
+
+TEST(Stats, EvenCountMedianAverages) {
+  const std::array<double, 4> xs{1.0, 3.0, 2.0, 10.0};
+  EXPECT_DOUBLE_EQ(summarize(xs).median, 2.5);
+}
+
+TEST(Stats, RelStddev) {
+  const std::array<double, 2> xs{90.0, 110.0};
+  const summary s = summarize(xs);
+  EXPECT_NEAR(s.rel_stddev(), s.stddev / 100.0, 1e-12);
+}
+
+TEST(Stats, WelfordMatchesSummary) {
+  const std::array<double, 6> xs{1.5, -2.0, 7.25, 0.0, 3.5, 3.5};
+  welford w;
+  for (double x : xs) w.add(x);
+  const summary s = summarize(xs);
+  EXPECT_NEAR(w.mean(), s.mean, 1e-12);
+  EXPECT_NEAR(w.variance(), s.stddev * s.stddev, 1e-9);
+  EXPECT_EQ(w.count(), xs.size());
+}
+
+TEST(Stats, LsqSlopeExactLine) {
+  const std::array<double, 4> x{1.0, 2.0, 3.0, 4.0};
+  const std::array<double, 4> y{5.0, 7.0, 9.0, 11.0};  // slope 2
+  EXPECT_NEAR(lsq_slope(x, y), 2.0, 1e-12);
+}
+
+TEST(Stats, LsqSlopeDegenerate) {
+  const std::array<double, 2> x{3.0, 3.0};
+  const std::array<double, 2> y{1.0, 9.0};
+  EXPECT_EQ(lsq_slope(x, y), 0.0);
+  EXPECT_EQ(lsq_slope({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace hls

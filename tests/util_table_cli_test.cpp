@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace hls {
+namespace {
+
+TEST(Table, AlignedOutputContainsAllCells) {
+  table t({"scheme", "P", "speedup"});
+  t.add_row({"hybrid", "32", "27.4"});
+  t.add_row({"vanilla", "32", "19.1"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("scheme"), std::string::npos);
+  EXPECT_NE(s.find("hybrid"), std::string::npos);
+  EXPECT_NE(s.find("27.4"), std::string::npos);
+  EXPECT_NE(s.find("vanilla"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  table t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\nonly,,\n");
+}
+
+TEST(Table, Formatting) {
+  EXPECT_EQ(table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(table::fmt_pct(0.9999, 2), "99.99%");
+  EXPECT_EQ(table::fmt_pct(1.0, 2), "100.00%");
+  const std::string sci = table::fmt_sci(118000000000.0, 2);
+  EXPECT_NE(sci.find("1.18e+11"), std::string::npos) << sci;
+}
+
+TEST(Cli, ParsesFlagsAndPositional) {
+  const char* argv[] = {"prog", "--workers=8", "--verbose", "input.txt",
+                        "--ratio=0.5"};
+  cli c(5, argv);
+  EXPECT_TRUE(c.has("workers"));
+  EXPECT_EQ(c.get_int("workers", 1), 8);
+  EXPECT_TRUE(c.get_bool("verbose", false));
+  EXPECT_DOUBLE_EQ(c.get_double("ratio", 0.0), 0.5);
+  ASSERT_EQ(c.positional().size(), 1u);
+  EXPECT_EQ(c.positional()[0], "input.txt");
+}
+
+TEST(Cli, Defaults) {
+  const char* argv[] = {"prog"};
+  cli c(1, argv);
+  EXPECT_FALSE(c.has("x"));
+  EXPECT_EQ(c.get_int("x", 42), 42);
+  EXPECT_EQ(c.get("name", "fallback"), "fallback");
+  EXPECT_FALSE(c.get_bool("flag", false));
+}
+
+TEST(Cli, BoolFalseSpellings) {
+  const char* argv[] = {"prog", "--a=false", "--b=0", "--c=yes"};
+  cli c(4, argv);
+  EXPECT_FALSE(c.get_bool("a", true));
+  EXPECT_FALSE(c.get_bool("b", true));
+  EXPECT_TRUE(c.get_bool("c", false));
+}
+
+TEST(Cli, IntList) {
+  const char* argv[] = {"prog", "--workers=1,2,4,8,16,32"};
+  cli c(2, argv);
+  const auto xs = c.get_int_list("workers", {});
+  ASSERT_EQ(xs.size(), 6u);
+  EXPECT_EQ(xs.front(), 1);
+  EXPECT_EQ(xs.back(), 32);
+  const auto def = c.get_int_list("missing", {7});
+  ASSERT_EQ(def.size(), 1u);
+  EXPECT_EQ(def[0], 7);
+}
+
+}  // namespace
+}  // namespace hls

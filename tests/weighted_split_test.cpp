@@ -1,0 +1,152 @@
+// Weighted initial partitioning (paper Section VI extension): boundary
+// arithmetic, partition_set integration, end-to-end hybrid execution, and
+// the load-balance property it exists to deliver.
+#include "core/weighted_split.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "core/partition_set.h"
+#include "sched/loop.h"
+#include "sim/engine.h"
+
+namespace hls {
+namespace {
+
+double unit_weight(std::int64_t) { return 1.0; }
+
+TEST(WeightedBoundaries, UniformWeightsMatchBalancedSplit) {
+  const auto b = core::weighted_boundaries(0, 100, 4, unit_weight);
+  EXPECT_EQ(b, (std::vector<std::int64_t>{0, 25, 50, 75, 100}));
+}
+
+TEST(WeightedBoundaries, CoversRangeExactly) {
+  for (std::int64_t n : {1, 7, 100, 1000}) {
+    for (std::uint64_t pieces : {1ull, 2ull, 8ull, 32ull}) {
+      const auto b = core::weighted_boundaries(
+          10, 10 + n, pieces,
+          [](std::int64_t i) { return static_cast<double>(i % 5 + 1); });
+      ASSERT_EQ(b.size(), pieces + 1);
+      EXPECT_EQ(b.front(), 10);
+      EXPECT_EQ(b.back(), 10 + n);
+      for (std::size_t k = 1; k < b.size(); ++k) EXPECT_LE(b[k - 1], b[k]);
+    }
+  }
+}
+
+TEST(WeightedBoundaries, LinearRampBalancesWeightNotCount) {
+  // weight(i) = i: total = n(n-1)/2; the first piece must hold ~sqrt(1/2)
+  // of the indices to hold 1/2 of the weight (2 pieces).
+  constexpr std::int64_t kN = 10000;
+  const auto b = core::weighted_boundaries(
+      0, kN, 2, [](std::int64_t i) { return static_cast<double>(i); });
+  const double expect = kN / std::sqrt(2.0);
+  EXPECT_NEAR(static_cast<double>(b[1]), expect, 2.0);
+}
+
+TEST(WeightedBoundaries, PieceWeightsAreNearlyEqual) {
+  constexpr std::int64_t kN = 4096;
+  constexpr std::uint64_t kPieces = 16;
+  auto weight = [](std::int64_t i) {
+    const double x = static_cast<double>(i) / (kN - 1);
+    return 0.2 + 4.8 * x * x * x;  // the unbalanced micro's profile
+  };
+  const auto b = core::weighted_boundaries(0, kN, kPieces, weight);
+  double total = 0.0;
+  for (std::int64_t i = 0; i < kN; ++i) total += weight(i);
+  const double target = total / kPieces;
+  for (std::uint64_t k = 0; k < kPieces; ++k) {
+    double piece = 0.0;
+    for (std::int64_t i = b[k]; i < b[k + 1]; ++i) piece += weight(i);
+    EXPECT_NEAR(piece, target, target * 0.25) << "piece " << k;
+  }
+}
+
+TEST(WeightedBoundaries, ZeroTotalWeightFallsBackToBalanced) {
+  const auto b =
+      core::weighted_boundaries(0, 64, 4, [](std::int64_t) { return 0.0; });
+  EXPECT_EQ(b, (std::vector<std::int64_t>{0, 16, 32, 48, 64}));
+}
+
+TEST(WeightedBoundaries, NegativeAndNaNWeightsClamped) {
+  const auto b = core::weighted_boundaries(0, 64, 4, [](std::int64_t i) {
+    if (i % 3 == 0) return -5.0;
+    if (i % 3 == 1) return std::nan("");
+    return 1.0;
+  });
+  EXPECT_EQ(b.front(), 0);
+  EXPECT_EQ(b.back(), 64);
+  for (std::size_t k = 1; k < b.size(); ++k) EXPECT_LE(b[k - 1], b[k]);
+}
+
+TEST(WeightedBoundaries, EmptyRange) {
+  const auto b = core::weighted_boundaries(5, 5, 4, unit_weight);
+  for (auto x : b) EXPECT_EQ(x, 5);
+}
+
+TEST(WeightedPartitionSet, RangesTileAndEqualizeWeight) {
+  core::partition_set set(0, 1024, 8, [](std::int64_t i) {
+    return static_cast<double>(i);
+  });
+  std::int64_t next = 0;
+  for (std::uint64_t r = 0; r < set.count(); ++r) {
+    const auto rg = set.range(r);
+    EXPECT_EQ(rg.begin, next);
+    next = rg.end;
+  }
+  EXPECT_EQ(next, 1024);
+  // Later partitions (heavier per-iteration weight) must be smaller.
+  EXPECT_GT(set.range(0).size(), set.range(set.count() - 1).size());
+}
+
+TEST(WeightedHybrid, EveryIterationExecutesExactlyOnce) {
+  rt::runtime rt(4);
+  constexpr std::int64_t kN = 4096;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  loop_options opt;
+  opt.iteration_weight = [](std::int64_t i) {
+    return 1.0 + static_cast<double>(i % 97);
+  };
+  for_each(rt, 0, kN, policy::hybrid,
+           [&](std::int64_t i) { hits[i].fetch_add(1); }, opt);
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(WeightedHybrid, DesMakespanImprovesOnSkewedWork) {
+  // The extension's purpose: on a heavily skewed loop, weighted earmarked
+  // partitions avoid the post-hoc stealing the unweighted hybrid needs, so
+  // the makespan drops and affinity rises.
+  sim::machine_desc m;
+  m.workers = 32;
+  sim::workload_spec w;
+  w.name = "skewed";
+  w.outer_iterations = 4;
+  w.region_count = 2048;
+  w.total_bytes = 0;
+  sim::loop_spec ls;
+  ls.n = 2048;
+  ls.cpu_ns = [](std::int64_t i) {
+    const double x = static_cast<double>(i) / 2047.0;
+    return 100.0 + 4000.0 * x * x * x;
+  };
+  ls.bytes = [](std::int64_t) -> std::uint64_t { return 0; };
+  w.loops.push_back(ls);
+
+  const auto unweighted = sim::simulate(m, w, policy::hybrid);
+
+  w.loops[0].iteration_weight = w.loops[0].cpu_ns;  // perfect annotation
+  const auto weighted = sim::simulate(m, w, policy::hybrid);
+
+  EXPECT_LT(weighted.makespan_ns, unweighted.makespan_ns * 1.001);
+  EXPECT_LT(weighted.steals, unweighted.steals + 1);
+  EXPECT_GE(weighted.affinity, unweighted.affinity - 1e-9);
+}
+
+}  // namespace
+}  // namespace hls
