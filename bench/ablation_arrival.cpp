@@ -50,8 +50,9 @@ int main(int argc, char** argv) {
                table::fmt_pct(rh.affinity, 1)});
   }
   hls::bench::emit(t);
-  std::cout << "\nStrict static waits for every block owner (makespan grows "
-               "with the delay);\nhybrid reassigns straggler partitions "
-               "through the claim sequence and keeps\nmost of its affinity.\n";
+  hls::bench::note(
+      "\nStrict static waits for every block owner (makespan grows "
+      "with the delay);\nhybrid reassigns straggler partitions "
+      "through the claim sequence and keeps\nmost of its affinity.\n");
   return 0;
 }

@@ -110,7 +110,7 @@ int main(int argc, char** argv) {
                  std::to_string(worst_xor), std::to_string(worst_lin)});
     }
     hls::bench::emit(t);
-    std::cout << "xor heuristic column must never exceed lg R (Lemma 4).\n";
+    hls::bench::note("xor heuristic column must never exceed lg R (Lemma 4).\n");
   }
   return 0;
 }

@@ -46,8 +46,9 @@ int main(int argc, char** argv) {
     }
   }
   hls::bench::emit(t);
-  std::cout << "\nExpect: grain 1 inflates T1 (poor work efficiency) and "
-               "queue traffic;\nthe default min(2048, N/8P) keeps T1/Ts near "
-               "1 with enough parallelism.\n";
+  hls::bench::note(
+      "\nExpect: grain 1 inflates T1 (poor work efficiency) and "
+      "queue traffic;\nthe default min(2048, N/8P) keeps T1/Ts near "
+      "1 with enough parallelism.\n");
   return 0;
 }

@@ -47,8 +47,9 @@ int main(int argc, char** argv) {
     t.add_row(std::move(row));
   }
   hls::bench::emit(t);
-  std::cout << "\nR = P (=32) sits in the valley for balanced loops; extra "
-               "partitions help\nunbalanced loops a little (finer earmarked "
-               "units) until the O(R lg R)\nclaim traffic dominates.\n";
+  hls::bench::note(
+      "\nR = P (=32) sits in the valley for balanced loops; extra "
+      "partitions help\nunbalanced loops a little (finer earmarked "
+      "units) until the O(R lg R)\nclaim traffic dominates.\n");
   return 0;
 }

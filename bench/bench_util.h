@@ -37,28 +37,65 @@ inline std::vector<std::uint32_t> worker_counts(const cli& c) {
 
 inline sim::machine_desc paper_machine() { return sim::machine_desc{}; }
 
-// Global output mode for the figure benches; set once from --csv.
-inline bool& csv_mode() {
-  static bool mode = false;
+// Global output mode for the figure benches; set once from --csv / --json.
+enum class out_mode { pretty, csv, json };
+
+inline out_mode& output_mode() {
+  static out_mode mode = out_mode::pretty;
   return mode;
 }
 
-inline void init_output(const cli& c) { csv_mode() = c.get_bool("csv", false); }
+// Back-compat shorthand used by a few benches.
+inline bool csv_mode() { return output_mode() == out_mode::csv; }
 
-inline void print_header(const std::string& title) {
-  if (csv_mode()) {
-    std::cout << "\n# " << title << "\n";
-  } else {
-    std::cout << "\n==== " << title << " ====\n";
+// The section title of the current table; attached to every JSON row so
+// BENCH_*.json trajectories are self-describing without table scraping.
+inline std::string& current_section() {
+  static std::string section;
+  return section;
+}
+
+inline void init_output(const cli& c) {
+  if (c.get_bool("json", false)) {
+    output_mode() = out_mode::json;
+  } else if (c.get_bool("csv", false)) {
+    output_mode() = out_mode::csv;
   }
 }
 
-// Prints a table in the selected mode.
+inline void print_header(const std::string& title) {
+  current_section() = title;
+  switch (output_mode()) {
+    case out_mode::pretty:
+      std::cout << "\n==== " << title << " ====\n";
+      break;
+    case out_mode::csv:
+      std::cout << "\n# " << title << "\n";
+      break;
+    case out_mode::json:
+      break;  // each row carries the section; no free-text header
+  }
+}
+
+// Free-form commentary; suppressed in JSON mode so the emitted stream
+// stays machine-parsable (one JSON object per line, nothing else).
+inline void note(const std::string& text) {
+  if (output_mode() != out_mode::json) std::cout << text;
+}
+
+// Prints a table in the selected mode. JSON emits one object per row
+// (JSON lines), tagged with the current section.
 inline void emit(const table& t) {
-  if (csv_mode()) {
-    t.print_csv(std::cout);
-  } else {
-    t.print(std::cout);
+  switch (output_mode()) {
+    case out_mode::pretty:
+      t.print(std::cout);
+      break;
+    case out_mode::csv:
+      t.print_csv(std::cout);
+      break;
+    case out_mode::json:
+      t.print_json(std::cout, {{"section", current_section()}});
+      break;
   }
 }
 

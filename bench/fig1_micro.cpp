@@ -6,6 +6,7 @@
 // Times are virtual nanoseconds from the discrete-event simulator of the
 // paper's 32-core 4-socket machine (see DESIGN.md for the substitution).
 #include <iostream>
+#include <sstream>
 
 #include "bench_util.h"
 #include "sim/report.h"
@@ -54,9 +55,10 @@ void run_case(const char* name, bool balanced, std::uint64_t ws_bytes,
   t.add_row(std::move(row));
 
   bench::print_header(std::string("Fig.1 ") + name + "  (scalability T1/TP)");
-  std::cout << "working set " << ws_bytes / 1e6 << " MB total ("
-            << ws_bytes / 4e6 << " MB/socket), N=" << iters << ", " << outer
-            << " loop instances\n";
+  std::ostringstream ws;
+  ws << "working set " << ws_bytes / 1e6 << " MB total (" << ws_bytes / 4e6
+     << " MB/socket), N=" << iters << ", " << outer << " loop instances\n";
+  hls::bench::note(ws.str());
   hls::bench::emit(t);
 }
 

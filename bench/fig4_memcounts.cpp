@@ -96,8 +96,9 @@ int main(int argc, char** argv) {
   }
 
   hls::bench::emit(t);
-  std::cout << "\nPaper pattern check: hybrid & omp service L3 misses mostly "
-               "from LOCAL DRAM;\nvanilla shifts a large share to remote L3 / "
-               "remote DRAM.\n";
+  hls::bench::note(
+      "\nPaper pattern check: hybrid & omp service L3 misses mostly "
+      "from LOCAL DRAM;\nvanilla shifts a large share to remote L3 / "
+      "remote DRAM.\n");
   return 0;
 }

@@ -3,6 +3,7 @@
 // the simulators (the paper measured them with the Intel Memory Latency
 // Checker; ranges are reported as their middle value, as the paper uses).
 #include <iostream>
+#include <sstream>
 
 #include "bench_util.h"
 
@@ -24,14 +25,15 @@ int main(int argc, char** argv) {
              "643.2 - 650.9 (middle)"});
   hls::bench::emit(t);
 
-  std::cout << "\nCache geometry: L1 " << m.l1_bytes / 1024 << " KB, L2 "
-            << m.l2_bytes / 1024 << " KB per core; L3 "
-            << (m.l3_bytes >> 20) << " MB per socket; " << m.total_cores
-            << " cores on " << m.sockets << " sockets; line "
-            << m.line_bytes << " B.\n";
-  std::cout << "Long-latency levels are divided by an MLP factor of "
-            << m.mlp_long
-            << " when converted to throughput cost in the DES\n(inferred "
-               "latency in Fig.4 uses the raw values, as the paper does).\n";
+  std::ostringstream geom;
+  geom << "\nCache geometry: L1 " << m.l1_bytes / 1024 << " KB, L2 "
+       << m.l2_bytes / 1024 << " KB per core; L3 " << (m.l3_bytes >> 20)
+       << " MB per socket; " << m.total_cores << " cores on " << m.sockets
+       << " sockets; line " << m.line_bytes << " B.\n";
+  geom << "Long-latency levels are divided by an MLP factor of "
+       << m.mlp_long
+       << " when converted to throughput cost in the DES\n(inferred "
+          "latency in Fig.4 uses the raw values, as the paper does).\n";
+  hls::bench::note(geom.str());
   return 0;
 }

@@ -1,25 +1,32 @@
 // Quickstart: the hybrid parallel loop in five lines.
 //
 //   build/examples/quickstart [--workers=4] [--n=1000000]
+//                             [--telemetry] [--trace-out=trace.json]
 //
 // Creates a work-stealing runtime, runs a parallel loop under the paper's
 // hybrid scheduling scheme, and shows that switching the policy is a
-// one-argument change.
+// one-argument change. --telemetry prints the scheduler counter report at
+// exit; --trace-out writes a Chrome trace (open in Perfetto) of every
+// chunk, claim, and steal.
 #include <cstdio>
+#include <iostream>
 #include <mutex>
 #include <numeric>
 #include <vector>
 
 #include "sched/loop.h"
+#include "telemetry/report.h"
 #include "util/cli.h"
 
 int main(int argc, char** argv) {
   const hls::cli cli(argc, argv);
   const auto workers = static_cast<std::uint32_t>(cli.get_int("workers", 4));
   const std::int64_t n = cli.get_int("n", 1'000'000);
+  const auto tel_opt = hls::telemetry::run_options::from_cli(cli);
 
   // A runtime with P workers; the calling thread acts as worker 0.
   hls::rt::runtime rt(workers);
+  hls::telemetry::apply(rt.tel(), tel_opt);
 
   std::vector<double> data(static_cast<std::size_t>(n));
 
@@ -46,5 +53,5 @@ int main(int argc, char** argv) {
     std::printf("%-12s chunked re-sum  = %.6f\n", hls::policy_name(pol),
                 check);
   }
-  return 0;
+  return hls::telemetry::finish(std::cout, rt.tel(), tel_opt) ? 0 : 1;
 }

@@ -12,6 +12,14 @@ for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] && "$b"
 done
 
+# Telemetry end-to-end: a traced run must produce valid Chrome trace JSON
+# and a parsable JSON-lines report.
+build/bench/rt_telemetry --telemetry --telemetry-format=json --json \
+  --trace-out=build/rt_telemetry_trace.json | python3 -m json.tool --json-lines > /dev/null
+python3 -m json.tool build/rt_telemetry_trace.json > /dev/null
+build/examples/quickstart --telemetry --trace-out=build/quickstart_trace.json > /dev/null
+python3 -m json.tool build/quickstart_trace.json > /dev/null
+
 for e in quickstart heat_stencil adaptive_quadrature simulate_machine \
          nbody_weighted; do
   "build/examples/$e" > /dev/null
@@ -22,7 +30,8 @@ cmake -B build-tsan -G Ninja -DHLS_SANITIZE=thread
 cmake --build build-tsan
 for t in deque_test runtime_test parallel_for_test hybrid_loop_test \
          task_pool_test task_group_test stress_test reduce_test \
-         sched_features_test micro_workload_test; do
+         sched_features_test micro_workload_test telemetry_test \
+         telemetry_runtime_test; do
   echo "== TSAN $t"
   "build-tsan/tests/$t" --gtest_brief=1
 done

@@ -16,8 +16,10 @@ static_assert(advance_on_failure(6) == 8);
 // Explicitly instantiate the claim loop against the concurrent partition set
 // so that template breakage is caught when this library builds, not first in
 // a downstream target.
-template claim_stats run_claim_loop<partition_set::flags_adapter>(
+template claim_stats
+run_claim_loop<partition_set::flags_adapter,
+               void (*)(std::uint64_t, std::uint64_t)>(
     std::uint32_t, std::uint64_t, partition_set::flags_adapter&,
-    void (*&&)(std::uint64_t, std::uint64_t));
+    void (*&&)(std::uint64_t, std::uint64_t), null_claim_observer&&);
 
 }  // namespace hls::core

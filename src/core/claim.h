@@ -49,36 +49,51 @@ constexpr std::uint64_t advance_on_failure(std::uint64_t i) noexcept {
   return i + lsb(i);
 }
 
+// Observes individual claim attempts: observe(partition, index, success)
+// is invoked for every test_and_set, successful or not. The default
+// observer is an empty callable that compiles away; the threaded runtime
+// passes a telemetry recorder through here (its only claim-path hook).
+struct null_claim_observer {
+  constexpr void operator()(std::uint64_t /*partition*/,
+                            std::uint64_t /*index*/,
+                            bool /*success*/) const noexcept {}
+};
+
 // Runs the claim loop of DoHybridLoop (Algorithm 3) for worker w over R
 // partitions. R must be a power of two and w < R. For every successful
 // claim, invokes on_claim(partition, index); the callback runs the
 // partition's iterations before the next claim is attempted, exactly as the
 // paper's continuation-stealing execution does.
-template <claim_flags Flags, typename OnClaim>
+template <claim_flags Flags, typename OnClaim,
+          typename Observer = null_claim_observer>
 claim_stats run_claim_loop(std::uint32_t w, std::uint64_t R, Flags& flags,
-                           OnClaim&& on_claim) {
+                           OnClaim&& on_claim, Observer&& observe = {}) {
   claim_stats st;
   std::uint64_t consec = 0;
   std::uint64_t i = 0;
 
   // First claim: the worker's designated partition r = 0 XOR w = w.
   if (flags.test_and_set(claim_target(i, w))) {
+    observe(claim_target(i, w), i, false);
     st.failures = 1;
     st.max_consec_failures = 1;
     st.exited_on_first = true;
     return st;  // Alg. 3 line 14: revert to ordinary work stealing.
   }
+  observe(claim_target(i, w), i, true);
   ++st.successes;
   on_claim(claim_target(i, w), i);
   i += 1;
 
   while (i < R) {
     if (!flags.test_and_set(claim_target(i, w))) {
+      observe(claim_target(i, w), i, true);
       ++st.successes;
       consec = 0;
       on_claim(claim_target(i, w), i);
       i += 1;
     } else {
+      observe(claim_target(i, w), i, false);
       ++st.failures;
       ++consec;
       if (consec > st.max_consec_failures) st.max_consec_failures = consec;

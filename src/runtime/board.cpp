@@ -43,7 +43,9 @@ bool board::visit(worker& w) {
     // the reader count to drain).
     loop_record* rec = sl.ptr.load();
     if (rec != nullptr && !rec->finished()) {
+      telemetry::bump(w.tel().counters.loop_entries);
       worked = rec->participate(w) || worked;
+      telemetry::bump(w.tel().counters.loop_leaves);
     }
     sl.readers.fetch_sub(1);
   }

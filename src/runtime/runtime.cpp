@@ -16,12 +16,14 @@ thread_local worker* tls_worker = nullptr;
 
 worker* current_worker_or_null() noexcept { return tls_worker; }
 
-runtime::runtime(std::uint32_t num_workers, std::uint64_t seed) {
+runtime::runtime(std::uint32_t num_workers, std::uint64_t seed)
+    : tel_(num_workers == 0 ? 1 : num_workers) {
   if (num_workers == 0) num_workers = 1;
   std::uint64_t sm = seed;
   workers_.reserve(num_workers);
   for (std::uint32_t i = 0; i < num_workers; ++i) {
-    workers_.push_back(std::make_unique<worker>(*this, i, splitmix64(sm)));
+    workers_.push_back(
+        std::make_unique<worker>(*this, i, splitmix64(sm), tel_.of(i)));
   }
   tls_worker = workers_[0].get();
   threads_.reserve(num_workers > 0 ? num_workers - 1 : 0);

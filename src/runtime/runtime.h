@@ -16,6 +16,7 @@
 
 #include "runtime/board.h"
 #include "runtime/worker.h"
+#include "telemetry/registry.h"
 
 namespace hls::rt {
 
@@ -55,16 +56,20 @@ class runtime {
     return stop_.load(std::memory_order_acquire);
   }
 
-  // Sum of all workers' event counters (racy-but-consistent snapshot).
-  worker_stats stats_snapshot() const {
-    worker_stats total;
-    for (const auto& w : workers_) total += w->stats();
-    return total;
-  }
+  // Sum of all workers' event counters (racy-but-consistent snapshot):
+  // totals add, watermarks take the max. Each field is monotonic, so
+  // deltas of two snapshots (operator-) are well-defined.
+  worker_stats stats_snapshot() const { return tel_.totals(); }
+
+  // This runtime's telemetry registry: per-worker counters, histograms,
+  // and (when enabled) scheduler event rings. See telemetry/registry.h.
+  telemetry::registry& tel() noexcept { return tel_; }
+  const telemetry::registry& tel() const noexcept { return tel_; }
 
  private:
   void worker_main(std::uint32_t id);
 
+  telemetry::registry tel_;  // before workers_: workers reference slots
   std::vector<std::unique_ptr<worker>> workers_;
   std::vector<std::thread> threads_;
   board board_;

@@ -21,8 +21,9 @@ inline void cpu_relax() noexcept {
 }
 }  // namespace
 
-worker::worker(runtime& rt, std::uint32_t id, std::uint64_t seed)
-    : rt_(rt), id_(id), rng_(seed) {}
+worker::worker(runtime& rt, std::uint32_t id, std::uint64_t seed,
+               telemetry::worker_state& tel)
+    : rt_(rt), id_(id), rng_(seed), tel_(tel) {}
 
 void worker::push(task* t) {
   deque_.push(t);
@@ -32,8 +33,14 @@ void worker::push(task* t) {
 task* worker::pop_local() { return deque_.pop(); }
 
 void worker::run(task* t) {
-  stats_.tasks_run.fetch_add(1, std::memory_order_relaxed);
-  t->execute(*this);
+  telemetry::bump(tel_.counters.tasks_run);
+  if (tel_.events_on()) {
+    const std::uint64_t t0 = tel_.now();
+    t->execute(*this);
+    tel_.emit({t0, tel_.now() - t0, 0, 0, telemetry::event_kind::task_span});
+  } else {
+    t->execute(*this);
+  }
   delete t;
 }
 
@@ -44,19 +51,31 @@ void worker::drain_local() {
 bool worker::try_steal_round() {
   const std::uint32_t p = rt_.num_workers();
   if (p <= 1) return false;
+  const std::uint64_t t0 = tel_.now();
+  std::uint64_t probes = 0;
   // One round: up to P random victim probes (standard randomized stealing;
   // the round bound keeps the idle loop responsive to board posts).
   for (std::uint32_t attempt = 0; attempt < p; ++attempt) {
     const auto victim =
         static_cast<std::uint32_t>(rng_.next_below(p - 1));
     const std::uint32_t v = victim >= id_ ? victim + 1 : victim;
-    stats_.steal_probes.fetch_add(1, std::memory_order_relaxed);
+    ++probes;
     if (task* t = rt_.worker_at(v).deque().steal()) {
-      stats_.steals.fetch_add(1, std::memory_order_relaxed);
+      telemetry::bump(tel_.counters.steal_probes, probes);
+      telemetry::bump(tel_.counters.steals);
+      telemetry::bump(tel_.counters.steal_latency_ns, tel_.now() - t0);
+      tel_.steal_probe_hist.record(probes);
+      if (tel_.events_on()) {
+        tel_.emit({tel_.now(), 0, static_cast<std::int64_t>(v),
+                   static_cast<std::int64_t>(probes),
+                   telemetry::event_kind::steal});
+      }
       run(t);
       return true;
     }
   }
+  telemetry::bump(tel_.counters.steal_probes, probes);
+  tel_.steal_probe_hist.record(probes);
   return false;
 }
 
@@ -66,7 +85,7 @@ bool worker::try_progress() {
     return true;
   }
   if (rt_.loop_board().visit(*this)) {
-    stats_.board_participations.fetch_add(1, std::memory_order_relaxed);
+    telemetry::bump(tel_.counters.board_participations);
     return true;
   }
   return try_steal_round();
@@ -78,7 +97,14 @@ void worker::pause(int idle_count) {
   } else if (idle_count < 16) {
     std::this_thread::yield();
   } else {
+    telemetry::bump(tel_.counters.idle_sleeps);
+    const std::uint64_t t0 = tel_.now();
     rt_.idle_sleep();
+    const std::uint64_t dt = tel_.now() - t0;
+    telemetry::bump(tel_.counters.idle_sleep_ns, dt);
+    if (tel_.events_on()) {
+      tel_.emit({t0, dt, 0, 0, telemetry::event_kind::idle_span});
+    }
   }
 }
 

@@ -4,11 +4,11 @@
 // (2) visits the loop participation board, (3) steals from a random victim.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 
 #include "runtime/deque.h"
 #include "runtime/task_pool.h"
+#include "telemetry/registry.h"
 #include "util/rng.h"
 
 namespace hls::rt {
@@ -17,27 +17,17 @@ class runtime;
 class task;
 
 // Snapshot of a worker's scheduler event counters (monotonic over the
-// runtime's life). The live counters are relaxed atomics updated only by
-// the owning worker; snapshots read from any thread may lag but are
-// well-defined.
-struct worker_stats {
-  std::uint64_t tasks_run = 0;          // tasks executed (own + stolen)
-  std::uint64_t steals = 0;             // successful steals
-  std::uint64_t steal_probes = 0;       // victim probes (incl. failures)
-  std::uint64_t board_participations = 0;  // board visits that did work
-
-  worker_stats& operator+=(const worker_stats& o) noexcept {
-    tasks_run += o.tasks_run;
-    steals += o.steals;
-    steal_probes += o.steal_probes;
-    board_participations += o.board_participations;
-    return *this;
-  }
-};
+// runtime's life). The field list is generated from the telemetry x-macro
+// (telemetry/counters.h), so every counter automatically participates in
+// snapshots, sums, and deltas. The live counters are relaxed atomics
+// updated only by the owning worker; snapshots read from any thread may
+// lag but are well-defined.
+using worker_stats = telemetry::counter_set;
 
 class worker {
  public:
-  worker(runtime& rt, std::uint32_t id, std::uint64_t seed);
+  worker(runtime& rt, std::uint32_t id, std::uint64_t seed,
+         telemetry::worker_state& tel);
 
   worker(const worker&) = delete;
   worker& operator=(const worker&) = delete;
@@ -46,6 +36,10 @@ class worker {
   runtime& rt() noexcept { return rt_; }
   ws_deque& deque() noexcept { return deque_; }
   xoshiro256ss& rng() noexcept { return rng_; }
+
+  // This worker's telemetry state: counters, histograms, event ring.
+  telemetry::worker_state& tel() noexcept { return tel_; }
+  const telemetry::worker_state& tel() const noexcept { return tel_; }
 
   // Pushes a task onto this worker's own deque (owner thread only) and
   // wakes sleeping thieves.
@@ -66,15 +60,7 @@ class worker {
   // claim, mirroring the serial execution order of continuation stealing.
   void drain_local();
 
-  worker_stats stats() const noexcept {
-    worker_stats s;
-    s.tasks_run = stats_.tasks_run.load(std::memory_order_relaxed);
-    s.steals = stats_.steals.load(std::memory_order_relaxed);
-    s.steal_probes = stats_.steal_probes.load(std::memory_order_relaxed);
-    s.board_participations =
-        stats_.board_participations.load(std::memory_order_relaxed);
-    return s;
-  }
+  worker_stats stats() const noexcept { return tel_.counters.snapshot(); }
 
   // Block pool for this worker's task allocations (owner thread only).
   block_pool& pool() noexcept { return pool_; }
@@ -106,12 +92,7 @@ class worker {
   std::uint32_t id_;
   ws_deque deque_;
   xoshiro256ss rng_;
-  struct stat_counters {
-    std::atomic<std::uint64_t> tasks_run{0};
-    std::atomic<std::uint64_t> steals{0};
-    std::atomic<std::uint64_t> steal_probes{0};
-    std::atomic<std::uint64_t> board_participations{0};
-  } stats_;
+  telemetry::worker_state& tel_;
   block_pool pool_;
 };
 

@@ -48,6 +48,12 @@ struct loop_options {
   // Optional execution trace (affinity / memsim experiments).
   trace::loop_trace* trace = nullptr;
 
+  // Optional loop name for telemetry: when event tracing is enabled
+  // (runtime::tel().enable_events()), the posting worker records a loop
+  // span under this label in the Chrome trace export; unnamed loops show
+  // up under their policy name. Must outlive the call.
+  const char* label = nullptr;
+
   // Optional per-iteration work annotation (paper Section VI extension):
   // when set, the hybrid policy's earmarked partitions equalize weight sums
   // instead of iteration counts. Ignored by the other policies.

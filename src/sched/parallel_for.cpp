@@ -8,12 +8,47 @@
 
 namespace hls {
 
+namespace {
+
+// Records one loop span on the posting worker (emitted from the
+// destructor so every exit path, including exception rethrow, is
+// covered). Inactive unless event tracing is on.
+class loop_span_guard {
+ public:
+  loop_span_guard(rt::runtime& rt, rt::worker& me, policy pol,
+                  const loop_options& opt, std::int64_t n)
+      : tel_(me.tel()), active_(tel_.events_on()), n_(n) {
+    if (!active_) return;
+    label_id_ = rt.tel().intern_label(
+        opt.label != nullptr ? opt.label : policy_name(pol));
+    t0_ = tel_.now();
+  }
+
+  ~loop_span_guard() {
+    if (!active_) return;
+    tel_.emit({t0_, tel_.now() - t0_, label_id_, n_,
+               telemetry::event_kind::loop_span});
+  }
+
+ private:
+  telemetry::worker_state& tel_;
+  const bool active_;
+  std::int64_t label_id_ = 0;
+  std::int64_t n_;
+  std::uint64_t t0_ = 0;
+};
+
+}  // namespace
+
 void parallel_for(rt::runtime& rt, std::int64_t begin, std::int64_t end,
                   policy pol, chunk_body body, const loop_options& opt) {
   if (end <= begin) return;
   rt::worker& me = rt.current_worker();
   const std::int64_t n = end - begin;
   const std::uint32_t p = rt.num_workers();
+
+  telemetry::bump(me.tel().counters.loops_posted);
+  loop_span_guard span(rt, me, pol, opt, n);
 
   const std::int64_t grain =
       opt.grain > 0 ? opt.grain : default_grain(n, p);
@@ -67,7 +102,7 @@ void parallel_for(rt::runtime& rt, std::int64_t begin, std::int64_t end,
         // Board overflow: strict static needs every worker to arrive, which
         // cannot be guaranteed without a slot. Degrade to executing the
         // whole range on the posting worker (correctness over placement).
-        ctx->run_chunk(me.id(), begin, end);
+        ctx->run_chunk(me, begin, end);
       } else {
         rec->participate(me);
       }

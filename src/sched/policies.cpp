@@ -8,13 +8,17 @@
 
 namespace hls::sched {
 
-void loop_ctx::run_chunk(std::uint32_t worker_id, std::int64_t lo,
-                         std::int64_t hi) {
+void loop_ctx::run_chunk(rt::worker& w, std::int64_t lo, std::int64_t hi) {
   if (lo >= hi) return;
+  telemetry::worker_state& tel = w.tel();
+  // Chunk timing needs two clock reads, so it only runs in event-tracing
+  // mode; the always-on path is pure relaxed counter stores.
+  const bool timed = tel.events_on();
+  const std::uint64_t t0 = timed ? tel.now() : 0;
   if (!failed.load(std::memory_order_acquire)) {
     try {
       body(lo, hi);
-      if (trace != nullptr) trace->record(worker_id, lo, hi);
+      if (trace != nullptr) trace->record(w.id(), lo, hi);
     } catch (...) {
       std::lock_guard<std::mutex> lk(error_mu);
       if (!failed.load(std::memory_order_relaxed)) {
@@ -22,6 +26,12 @@ void loop_ctx::run_chunk(std::uint32_t worker_id, std::int64_t lo,
         failed.store(true, std::memory_order_release);
       }
     }
+  }
+  telemetry::bump(tel.counters.chunks_run);
+  if (timed) {
+    const std::uint64_t dt = tel.now() - t0;
+    tel.chunk_ns_hist.record(dt);
+    tel.emit({t0, dt, lo, hi, telemetry::event_kind::chunk_span});
   }
   // Retire the iterations even on failure/skip so the loop terminates.
   remaining.fetch_sub(hi - lo, std::memory_order_acq_rel);
@@ -52,7 +62,7 @@ void ws_subtask::run_span(rt::worker& w, const std::shared_ptr<loop_ctx>& ctx,
     w.push(new ws_subtask(ctx, mid, hi));
     hi = mid;
   }
-  ctx->run_chunk(w.id(), lo, hi);
+  ctx->run_chunk(w, lo, hi);
 }
 
 // ---------------------------------------------------------------- static
@@ -80,7 +90,7 @@ bool static_record::participate(rt::worker& w) {
   const std::int64_t extra = std::min<std::int64_t>(b, rem);
   const std::int64_t lo = ctx_->begin + static_cast<std::int64_t>(b) * base + extra;
   const std::int64_t hi = lo + base + (b < static_cast<std::uint32_t>(rem) ? 1 : 0);
-  ctx_->run_chunk(b, lo, hi);
+  ctx_->run_chunk(w, lo, hi);
   return true;
 }
 
@@ -100,7 +110,7 @@ bool shared_queue_record::participate(rt::worker& w) {
     const std::int64_t lo = next_.fetch_add(chunk_, std::memory_order_acq_rel);
     if (lo >= ctx_->end) break;
     const std::int64_t hi = std::min(lo + chunk_, ctx_->end);
-    ctx_->run_chunk(w.id(), lo, hi);
+    ctx_->run_chunk(w, lo, hi);
     worked = true;
   }
   return worked;
@@ -128,7 +138,7 @@ bool guided_record::participate(rt::worker& w) {
       hi = std::min(lo + sz, ctx_->end);
     } while (!next_.compare_exchange_weak(lo, hi, std::memory_order_acq_rel,
                                           std::memory_order_acquire));
-    ctx_->run_chunk(w.id(), lo, hi);
+    ctx_->run_chunk(w, lo, hi);
     worked = true;
   }
 }
@@ -148,6 +158,9 @@ hybrid_record::hybrid_record(std::shared_ptr<loop_ctx> ctx,
 void hybrid_record::execute_partition(rt::worker& w, std::uint64_t r) {
   const core::iter_range rg = parts_.range(r);
   if (rg.empty()) return;
+  telemetry::worker_state& tel = w.tel();
+  const bool timed = tel.events_on();
+  const std::uint64_t t0 = timed ? tel.now() : 0;
   // doWork (paper Alg. 3 lines 11/17): an ordinary divide-and-conquer
   // parallel loop over the partition, so stragglers inside a partition are
   // balanced by random stealing...
@@ -155,23 +168,49 @@ void hybrid_record::execute_partition(rt::worker& w, std::uint64_t r) {
   // ...while the claiming worker finishes its local share depth-first
   // before attempting the next claim, as continuation stealing would.
   w.drain_local();
+  if (timed) {
+    tel.emit({t0, tel.now() - t0, static_cast<std::int64_t>(r), 0,
+              telemetry::event_kind::partition_span});
+  }
 }
 
 bool hybrid_record::participate(rt::worker& w) {
+  telemetry::worker_state& tel = w.tel();
   // DoHybridLoop steal protocol: a worker arriving at the loop first checks
   // its designated starting partition r = w XOR 0; if that partition is
   // claimed it reverts to ordinary randomized work stealing. When fewer
   // partitions than workers are requested, worker IDs wrap modulo R.
   const std::uint32_t weff =
       w.id() & static_cast<std::uint32_t>(parts_.count() - 1);
-  if (parts_.is_claimed(core::claim_target(0, weff))) return false;
+  if (parts_.is_claimed(core::claim_target(0, weff))) {
+    // Observed-claimed designated partition: the Alg. 3 line 14 exit.
+    telemetry::bump(tel.counters.claims_failed);
+    if (tel.events_on()) {
+      tel.emit({tel.now(), 0,
+                static_cast<std::int64_t>(core::claim_target(0, weff)), 0,
+                telemetry::event_kind::claim_fail});
+    }
+    return false;
+  }
 
   auto flags = parts_.flags();
+  const bool traced = tel.events_on();
   const core::claim_stats st = core::run_claim_loop(
       weff, parts_.count(), flags,
       [&](std::uint64_t r, std::uint64_t /*index*/) {
         execute_partition(w, r);
+      },
+      [&](std::uint64_t r, std::uint64_t index, bool ok) {
+        if (traced) {
+          tel.emit({tel.now(), 0, static_cast<std::int64_t>(r),
+                    static_cast<std::int64_t>(index),
+                    ok ? telemetry::event_kind::claim_ok
+                       : telemetry::event_kind::claim_fail});
+        }
       });
+  // Counter rollup + live Lemma 4 check on the completed claim sequence.
+  tel.note_claim_sequence(st.successes, st.failures, st.max_consec_failures,
+                          parts_.count());
   return st.successes > 0;
 }
 

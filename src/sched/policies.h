@@ -51,10 +51,11 @@ struct loop_ctx {
   // posting worker after the loop completes.
   void rethrow_if_failed();
 
-  // Runs body on [lo, hi), records the trace, then retires the iterations.
-  // The retire is last: once remaining hits 0 the posting thread may return
-  // and the body callable may die, so nothing may touch `body` afterwards.
-  void run_chunk(std::uint32_t worker_id, std::int64_t lo, std::int64_t hi);
+  // Runs body on [lo, hi) on worker w, records the trace and chunk
+  // telemetry, then retires the iterations. The retire is last: once
+  // remaining hits 0 the posting thread may return and the body callable
+  // may die, so nothing may touch `body` afterwards.
+  void run_chunk(rt::worker& w, std::int64_t lo, std::int64_t hi);
 };
 
 // Divide-and-conquer subtask used by dynamic_ws and inside hybrid

@@ -1,0 +1,89 @@
+// Chrome trace-event JSON export (viewable in Perfetto / chrome://tracing).
+//
+// The writer emits the "JSON object format": {"traceEvents": [...]}, with
+// "X" (complete) events for spans and "i" (instant) events for point
+// events. Worker events go to pid 0 with one track (tid) per worker; a
+// recorded trace::loop_trace can be appended to the same file on pid 1,
+// so scheduler events and the figure-style iteration->worker map land in
+// one Perfetto view (timestamps there are execution sequence numbers, not
+// wall time).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace hls::trace {
+class loop_trace;
+}
+
+namespace hls::telemetry {
+
+class registry;
+
+// Track (pid) layout of the emitted file.
+inline constexpr int kWorkerPid = 0;     // runtime worker events, wall time
+inline constexpr int kLoopTracePid = 1;  // loop_trace replay, seq "time"
+
+// Streams one trace file. All add_* calls must happen between
+// construction and finish(); finish() closes the JSON document.
+class chrome_trace_writer {
+ public:
+  explicit chrome_trace_writer(std::ostream& os);
+  ~chrome_trace_writer();  // calls finish() if still open
+
+  chrome_trace_writer(const chrome_trace_writer&) = delete;
+  chrome_trace_writer& operator=(const chrome_trace_writer&) = delete;
+
+  // Metadata: names a track in the viewer.
+  void add_thread_name(int pid, int tid, const std::string& name);
+  void add_process_name(int pid, const std::string& name);
+
+  // A span ("X"). Timestamps/durations are nanoseconds; the trace format
+  // uses microseconds, so they are scaled on output. args_json, when
+  // non-empty, must be a JSON object body like "\"r\":3" (no braces).
+  void add_complete(int pid, int tid, const std::string& name,
+                    std::uint64_t ts_ns, std::uint64_t dur_ns,
+                    const std::string& args_json = "");
+
+  // A thread-scoped instant ("i").
+  void add_instant(int pid, int tid, const std::string& name,
+                   std::uint64_t ts_ns, const std::string& args_json = "");
+
+  void finish();
+
+  std::size_t events_written() const noexcept { return count_; }
+
+ private:
+  void prefix(char phase, int pid, int tid, const std::string& name,
+              std::uint64_t ts_ns);
+  void suffix(const std::string& args_json);
+
+  std::ostream& os_;
+  std::size_t count_ = 0;
+  bool open_ = true;
+};
+
+// Drains reg's event rings into the writer: one named track per worker,
+// spans for tasks/chunks/partitions/loops/idle gaps, instants for claim
+// attempts and steals. Returns the number of events written.
+std::size_t write_worker_events(chrome_trace_writer& w, registry& reg);
+
+// Appends a recorded loop trace (trace/loop_trace.h) to the same file on
+// its own process track, using the global execution sequence as the time
+// axis (satellites the figure experiments share one trace view with the
+// runtime events).
+std::size_t append_loop_trace(chrome_trace_writer& w,
+                              const trace::loop_trace& lt,
+                              const std::string& track_name = "loop_trace");
+
+// One-call export: worker events (plus an optional loop trace) to os.
+void write_chrome_trace(std::ostream& os, registry& reg,
+                        const trace::loop_trace* lt = nullptr);
+
+// Same, to a file. Returns false (and writes nothing) if the file cannot
+// be opened.
+bool write_chrome_trace_file(const std::string& path, registry& reg,
+                             const trace::loop_trace* lt = nullptr);
+
+}  // namespace hls::telemetry

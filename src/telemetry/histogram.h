@@ -1,0 +1,113 @@
+// Fixed-capacity power-of-two-bucket histogram.
+//
+// Bucket 0 counts the value 0; bucket b >= 1 counts values in
+// [2^(b-1), 2^b). 65 buckets cover the full uint64 range, so record()
+// never saturates or clips. The live buckets are relaxed atomics written
+// only by the owning worker (plain load/store, no RMW), cheap enough to
+// stay enabled in release builds; reads from other threads may lag but
+// every bucket is monotonic.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "util/bits.h"
+
+namespace hls::telemetry {
+
+// Plain snapshot of a histogram (or a merge across workers).
+struct histogram_snapshot {
+  static constexpr int kBuckets = 65;
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;  // total recorded values
+  std::uint64_t sum = 0;    // sum of recorded values (mean = sum / count)
+  std::uint64_t max = 0;    // largest recorded value
+
+  histogram_snapshot& operator+=(const histogram_snapshot& o) noexcept {
+    for (int b = 0; b < kBuckets; ++b) buckets[b] += o.buckets[b];
+    count += o.count;
+    sum += o.sum;
+    if (o.max > max) max = o.max;
+    return *this;
+  }
+
+  // Upper bound of the smallest bucket prefix holding >= q of the mass
+  // (q in [0, 1]); 0 when empty. A coarse quantile: exact only up to the
+  // bucket's power-of-two resolution.
+  std::uint64_t quantile(double q) const noexcept {
+    if (count == 0) return 0;
+    const double target = q * static_cast<double>(count);
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += buckets[b];
+      if (static_cast<double>(seen) >= target && buckets[b] > 0) {
+        return bucket_hi(b) - 1;
+      }
+    }
+    return max;
+  }
+
+  // Inclusive value range covered by bucket b.
+  static constexpr std::uint64_t bucket_lo(int b) noexcept {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+  // Exclusive upper bound of bucket b (saturates at uint64 max).
+  static constexpr std::uint64_t bucket_hi(int b) noexcept {
+    return b == 0 ? 1
+           : b >= kBuckets - 1 ? ~std::uint64_t{0}
+                               : std::uint64_t{1} << b;
+  }
+};
+
+class pow2_histogram {
+ public:
+  static constexpr int kBuckets = histogram_snapshot::kBuckets;
+
+  static constexpr int bucket_of(std::uint64_t v) noexcept {
+    return v == 0 ? 0 : static_cast<int>(ilog2(v)) + 1;
+  }
+
+  // Owner thread only (single writer; plain load/store updates).
+  void record(std::uint64_t v) noexcept {
+    bump(buckets_[bucket_of(v)], 1);
+    bump(count_, 1);
+    bump(sum_, v);
+    if (v > max_.load(std::memory_order_relaxed)) {
+      max_.store(v, std::memory_order_relaxed);
+    }
+  }
+
+  // Readable from any thread; may lag concurrent records.
+  histogram_snapshot snapshot() const noexcept {
+    histogram_snapshot s;
+    for (int b = 0; b < kBuckets; ++b) {
+      s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    }
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static void bump(std::atomic<std::uint64_t>& c, std::uint64_t by) noexcept {
+    c.store(c.load(std::memory_order_relaxed) + by,
+            std::memory_order_relaxed);
+  }
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace hls::telemetry

@@ -1,0 +1,150 @@
+#include "telemetry/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hls::telemetry {
+
+// ------------------------------------------------------------ event_ring
+
+event_ring::event_ring(std::size_t capacity) {
+  const std::uint64_t cap = next_pow2(capacity < 2 ? 2 : capacity);
+  words_.reset(new std::atomic<std::uint64_t>[cap * kWordsPerEvent]);
+  mask_ = cap - 1;
+}
+
+std::vector<event> event_ring::snapshot() const {
+  const std::uint64_t cap = mask_ + 1;
+  const std::uint64_t head0 = head_.load(std::memory_order_acquire);
+  const std::uint64_t floor = tail_floor_.load(std::memory_order_acquire);
+  std::uint64_t lo = head0 > cap ? head0 - cap : 0;
+  if (floor > lo) lo = floor;
+
+  std::vector<event> out;
+  out.reserve(static_cast<std::size_t>(head0 - lo));
+  for (std::uint64_t s = lo; s < head0; ++s) {
+    const std::atomic<std::uint64_t>* w =
+        words_.get() + (s & mask_) * kWordsPerEvent;
+    event e;
+    e.ts_ns = w[0].load(std::memory_order_relaxed);
+    e.dur_ns = w[1].load(std::memory_order_relaxed);
+    e.a = static_cast<std::int64_t>(w[2].load(std::memory_order_relaxed));
+    e.b = static_cast<std::int64_t>(w[3].load(std::memory_order_relaxed));
+    e.kind = static_cast<event_kind>(w[4].load(std::memory_order_relaxed));
+    out.push_back(e);
+  }
+
+  // Any entry the owner may have overwritten while we copied is torn:
+  // discard the prefix the new head has lapped.
+  const std::uint64_t head1 = head_.load(std::memory_order_acquire);
+  const std::uint64_t lo_valid = head1 > cap ? head1 - cap : 0;
+  if (lo_valid > lo) {
+    const std::size_t drop = static_cast<std::size_t>(
+        std::min<std::uint64_t>(lo_valid - lo, out.size()));
+    out.erase(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(drop));
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- registry
+
+registry::registry(std::uint32_t num_workers)
+    : num_workers_(num_workers == 0 ? 1 : num_workers),
+      epoch_ns_(steady_now_ns()),
+      states_(new worker_state[num_workers_]) {
+  for (std::uint32_t w = 0; w < num_workers_; ++w) {
+    states_[w].owner_ = this;
+    states_[w].epoch_ns_ = epoch_ns_;
+    states_[w].id_ = w;
+  }
+}
+
+void registry::enable_events(std::size_t ring_capacity) {
+#ifdef HLS_TELEMETRY_NO_EVENTS
+  (void)ring_capacity;
+#else
+  {
+    std::lock_guard<std::mutex> lk(setup_mu_);
+    if (rings_.empty()) {
+      rings_.reserve(num_workers_);
+      for (std::uint32_t w = 0; w < num_workers_; ++w) {
+        rings_.push_back(std::make_unique<event_ring>(ring_capacity));
+        // Publish the ring before the flag: the release store below pairs
+        // with the acquire load in events_enabled().
+        states_[w].ring_.store(rings_.back().get(),
+                               std::memory_order_relaxed);
+      }
+    }
+  }
+  events_on_.store(true, std::memory_order_release);
+#endif
+}
+
+void registry::disable_events() noexcept {
+  events_on_.store(false, std::memory_order_release);
+}
+
+std::vector<worker_event> registry::collect_events() const {
+  std::vector<worker_event> all;
+  for (std::uint32_t w = 0; w < num_workers_; ++w) {
+    if (const event_ring* r =
+            states_[w].ring_.load(std::memory_order_acquire)) {
+      for (const event& e : r->snapshot()) all.push_back({w, e});
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const worker_event& x, const worker_event& y) {
+                     return x.ev.ts_ns < y.ev.ts_ns;
+                   });
+  return all;
+}
+
+std::vector<worker_event> registry::drain_events() {
+  std::vector<worker_event> all = collect_events();
+  for (std::uint32_t w = 0; w < num_workers_; ++w) {
+    if (event_ring* r = states_[w].ring_.load(std::memory_order_acquire)) {
+      r->clear();
+    }
+  }
+  return all;
+}
+
+int registry::intern_label(const std::string& s) {
+  std::lock_guard<std::mutex> lk(setup_mu_);
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == s) return static_cast<int>(i) + 1;
+  }
+  labels_.push_back(s);
+  return static_cast<int>(labels_.size());
+}
+
+std::string registry::label(int id) const {
+  std::lock_guard<std::mutex> lk(setup_mu_);
+  if (id < 1 || static_cast<std::size_t>(id) > labels_.size()) return "";
+  return labels_[static_cast<std::size_t>(id) - 1];
+}
+
+void registry::lemma4_check(std::uint32_t worker,
+                            std::uint64_t max_consec_failures,
+                            std::uint64_t partitions) noexcept {
+  if (partitions == 0) return;
+  // Lemma 4: within one pass of the claim loop, at most lg R consecutive
+  // claims fail, so no claim sequence is longer than lg R + 1.
+  if (max_consec_failures <= ceil_log2(partitions)) return;
+  const std::uint64_t n =
+      lemma4_violations_.fetch_add(1, std::memory_order_relaxed);
+  if (lemma4_hook h = lemma4_hook_.load(std::memory_order_acquire)) {
+    h(worker, max_consec_failures + 1, partitions);
+  } else if (n == 0) {
+    std::fprintf(stderr,
+                 "hls-telemetry: Lemma 4 violated: worker %u saw a claim "
+                 "sequence of length %llu over R=%llu partitions "
+                 "(bound lg R + 1 = %u)\n",
+                 worker,
+                 static_cast<unsigned long long>(max_consec_failures + 1),
+                 static_cast<unsigned long long>(partitions),
+                 ceil_log2(partitions) + 1);
+  }
+}
+
+}  // namespace hls::telemetry

@@ -1,0 +1,70 @@
+// Human- and machine-readable telemetry reports, plus the CLI glue the
+// bench and example drivers share.
+//
+// Report output reuses util/table, so the three formats match the bench
+// binaries: aligned columns (pretty), CSV, and JSON-lines (one object per
+// row).
+//
+// Driver flags (parsed by run_options::from_cli):
+//   --telemetry                  print the counter/histogram report at exit
+//   --telemetry-format=pretty|csv|json
+//   --trace-out=FILE             enable event rings; write Chrome trace
+//                                JSON to FILE at exit (open in Perfetto)
+//   --trace-ring=N               per-worker event ring capacity (events)
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/registry.h"
+
+namespace hls {
+class cli;
+}
+namespace hls::trace {
+class loop_trace;
+}
+
+namespace hls::telemetry {
+
+enum class report_format { pretty, csv, json };
+
+// Per-counter rows (name, description, total, per-worker columns).
+void print_counters(std::ostream& os, const registry& reg,
+                    report_format fmt = report_format::pretty);
+
+// Summary rows for the always-on histograms (count/mean/p50/p90/p99/max)
+// and the chunk-duration histogram when event tracing populated it.
+void print_histograms(std::ostream& os, const registry& reg,
+                      report_format fmt = report_format::pretty);
+
+// Counters + histograms + the Lemma 4 verdict line.
+void print_report(std::ostream& os, const registry& reg,
+                  report_format fmt = report_format::pretty);
+
+// ------------------------------------------------------------ CLI glue
+
+struct run_options {
+  bool report = false;          // --telemetry
+  report_format format = report_format::pretty;
+  std::string trace_out;        // --trace-out=FILE ("" = off)
+  std::size_t ring_capacity = registry::kDefaultRingCapacity;
+
+  static run_options from_cli(const cli& c);
+
+  bool tracing() const noexcept { return !trace_out.empty(); }
+  bool any() const noexcept { return report || tracing(); }
+};
+
+// Call before the measured work: turns event recording on when tracing
+// was requested.
+void apply(registry& reg, const run_options& opt);
+
+// Call after the measured work: prints the report and/or writes the trace
+// file (appending lt when given). Returns false if the trace file could
+// not be written.
+bool finish(std::ostream& os, registry& reg, const run_options& opt,
+            const trace::loop_trace* lt = nullptr);
+
+}  // namespace hls::telemetry

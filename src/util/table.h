@@ -6,6 +6,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace hls {
@@ -24,6 +25,15 @@ class table {
 
   void print(std::ostream& os) const;       // aligned columns
   void print_csv(std::ostream& os) const;   // comma separated
+
+  // JSON lines: one object per row keyed by the header, plus the given
+  // extra key/value pairs on every object (e.g. the bench section name).
+  // Cells that parse as JSON numbers are emitted unquoted, so downstream
+  // tooling gets real numbers without scraping.
+  void print_json(
+      std::ostream& os,
+      const std::vector<std::pair<std::string, std::string>>& extra = {})
+      const;
 
   std::size_t rows() const noexcept { return rows_.size(); }
 

@@ -1,0 +1,237 @@
+// Minimal recursive-descent JSON parser for tests. Validates the whole
+// input (no trailing garbage) and builds a small DOM, so the telemetry
+// tests can round-trip the emitted Chrome trace / JSON-lines output
+// without an external dependency.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace hls::json_lite {
+
+struct value;
+using array = std::vector<value>;
+using object = std::map<std::string, value>;
+
+struct value {
+  std::variant<std::nullptr_t, bool, double, std::string, array, object> v =
+      nullptr;
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v); }
+  bool is_bool() const { return std::holds_alternative<bool>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  bool is_array() const { return std::holds_alternative<array>(v); }
+  bool is_object() const { return std::holds_alternative<object>(v); }
+
+  bool as_bool() const { return std::get<bool>(v); }
+  double as_number() const { return std::get<double>(v); }
+  const std::string& as_string() const { return std::get<std::string>(v); }
+  const array& as_array() const { return std::get<array>(v); }
+  const object& as_object() const { return std::get<object>(v); }
+
+  // Object member access; nullptr when absent or not an object.
+  const value* get(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    const auto it = as_object().find(key);
+    return it == as_object().end() ? nullptr : &it->second;
+  }
+};
+
+namespace detail {
+
+class parser {
+ public:
+  parser(const char* p, const char* end) : p_(p), end_(end) {}
+
+  std::optional<value> run() {
+    value out;
+    if (!parse_value(out)) return std::nullopt;
+    skip_ws();
+    if (p_ != end_) return std::nullopt;  // trailing garbage
+    return out;
+  }
+
+ private:
+  void skip_ws() {
+    while (p_ != end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool literal(const char* s) {
+    const char* q = p_;
+    while (*s != '\0') {
+      if (q == end_ || *q != *s) return false;
+      ++q, ++s;
+    }
+    p_ = q;
+    return true;
+  }
+
+  bool parse_value(value& out) {
+    skip_ws();
+    if (p_ == end_) return false;
+    switch (*p_) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out.v = std::move(s);
+        return true;
+      }
+      case 't': out.v = true; return literal("true");
+      case 'f': out.v = false; return literal("false");
+      case 'n': out.v = nullptr; return literal("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(value& out) {
+    ++p_;  // '{'
+    object o;
+    skip_ws();
+    if (p_ != end_ && *p_ == '}') {
+      ++p_;
+      out.v = std::move(o);
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (p_ == end_ || *p_ != ':') return false;
+      ++p_;
+      value v;
+      if (!parse_value(v)) return false;
+      o.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (p_ == end_) return false;
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == '}') {
+        ++p_;
+        out.v = std::move(o);
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_array(value& out) {
+    ++p_;  // '['
+    array a;
+    skip_ws();
+    if (p_ != end_ && *p_ == ']') {
+      ++p_;
+      out.v = std::move(a);
+      return true;
+    }
+    for (;;) {
+      value v;
+      if (!parse_value(v)) return false;
+      a.push_back(std::move(v));
+      skip_ws();
+      if (p_ == end_) return false;
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == ']') {
+        ++p_;
+        out.v = std::move(a);
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (p_ == end_ || *p_ != '"') return false;
+    ++p_;
+    out.clear();
+    while (p_ != end_ && *p_ != '"') {
+      char c = *p_++;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (p_ == end_) return false;
+      const char esc = *p_++;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (p_ == end_) return false;
+            const char h = *p_++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // Tests only emit ASCII escapes; anything else keeps a marker.
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default: return false;
+      }
+    }
+    if (p_ == end_) return false;
+    ++p_;  // closing '"'
+    return true;
+  }
+
+  bool parse_number(value& out) {
+    // Validate the strict JSON grammar, then convert with strtod.
+    const char* start = p_;
+    if (p_ != end_ && *p_ == '-') ++p_;
+    int int_digits = 0;
+    while (p_ != end_ && *p_ >= '0' && *p_ <= '9') ++p_, ++int_digits;
+    if (int_digits == 0) return false;
+    if (p_ != end_ && *p_ == '.') {
+      ++p_;
+      int frac_digits = 0;
+      while (p_ != end_ && *p_ >= '0' && *p_ <= '9') ++p_, ++frac_digits;
+      if (frac_digits == 0) return false;
+    }
+    if (p_ != end_ && (*p_ == 'e' || *p_ == 'E')) {
+      ++p_;
+      if (p_ != end_ && (*p_ == '+' || *p_ == '-')) ++p_;
+      int exp_digits = 0;
+      while (p_ != end_ && *p_ >= '0' && *p_ <= '9') ++p_, ++exp_digits;
+      if (exp_digits == 0) return false;
+    }
+    out.v = std::strtod(std::string(start, p_).c_str(), nullptr);
+    return true;
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace detail
+
+inline std::optional<value> parse(const std::string& s) {
+  return detail::parser(s.data(), s.data() + s.size()).run();
+}
+
+}  // namespace hls::json_lite
