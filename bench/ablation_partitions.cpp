@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   const cli c(argc, argv);
   bench::init_output(c);
   const auto m = bench::paper_machine().with_workers(
-      static_cast<std::uint32_t>(c.get_int("workers", 32)));
+      static_cast<std::uint32_t>(c.get_int_in("workers", 32, 1, rt::runtime::kMaxWorkers)));
 
   bench::print_header(
       "A5 partition-count sweep (hybrid, 32 cores, virtual ms)");

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
   const std::int64_t iters = c.get_int("iterations", 2048);
   const int outer = static_cast<int>(c.get_int("outer", 8));
   const auto m = bench::paper_machine().with_workers(
-      static_cast<std::uint32_t>(c.get_int("workers", 32)));
+      static_cast<std::uint32_t>(c.get_int_in("workers", 32, 1, rt::runtime::kMaxWorkers)));
 
   const struct {
     const char* label;

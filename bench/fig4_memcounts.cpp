@@ -53,7 +53,7 @@ void run_workload(const char* name, const sim::workload_spec& w,
 int main(int argc, char** argv) {
   const cli c(argc, argv);
   bench::init_output(c);
-  const auto p = static_cast<std::uint32_t>(c.get_int("workers", 32));
+  const auto p = static_cast<std::uint32_t>(c.get_int_in("workers", 32, 1, rt::runtime::kMaxWorkers));
 
   bench::print_header(
       "Fig.4 accesses serviced per hierarchy level (32 cores) + inferred "

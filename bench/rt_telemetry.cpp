@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
   hls::bench::init_output(c);
   auto tel_opt = hls::telemetry::run_options::from_cli(c);
 
-  const auto workers = static_cast<std::uint32_t>(c.get_int("workers", 4));
+  const auto workers = static_cast<std::uint32_t>(c.get_int_in("workers", 4, 1, hls::rt::runtime::kMaxWorkers));
   const std::int64_t n = c.get_int("n", 262'144);
   const int reps = static_cast<int>(c.get_int("reps", 6));
 

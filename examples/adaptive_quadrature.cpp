@@ -46,7 +46,7 @@ double adaptive_simpson(double a, double b, double fa, double fb, double fm,
 
 int main(int argc, char** argv) {
   const hls::cli cli(argc, argv);
-  const auto workers = static_cast<std::uint32_t>(cli.get_int("workers", 4));
+  const auto workers = static_cast<std::uint32_t>(cli.get_int_in("workers", 4, 1, hls::rt::runtime::kMaxWorkers));
   const std::int64_t intervals = cli.get_int("intervals", 2048);
   const double lo_bound = 1e-4, hi_bound = 1.0;
 

@@ -70,7 +70,7 @@ double run_policy(hls::rt::runtime& rt, hls::policy pol, std::int64_t cells,
 
 int main(int argc, char** argv) {
   const hls::cli cli(argc, argv);
-  const auto workers = static_cast<std::uint32_t>(cli.get_int("workers", 4));
+  const auto workers = static_cast<std::uint32_t>(cli.get_int_in("workers", 4, 1, hls::rt::runtime::kMaxWorkers));
   const std::int64_t cells = cli.get_int("cells", 200'000);
   const int steps = static_cast<int>(cli.get_int("steps", 50));
 

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
       c.positional().empty() ? "all" : c.positional().front();
   const auto pol =
       policy_from_name(c.get("policy", "hybrid")).value_or(policy::hybrid);
-  rt::runtime rt(static_cast<std::uint32_t>(c.get_int("workers", 4)));
+  rt::runtime rt(static_cast<std::uint32_t>(c.get_int_in("workers", 4, 1, rt::runtime::kMaxWorkers)));
   // NPB problem class; individual --ep_m / --is_keys / --cg_n / --mg_log2 /
   // --ft_log2 flags override the class preset.
   const npb_class cls =

@@ -83,7 +83,7 @@ double step(hls::rt::runtime& rt, std::vector<body>& bodies, hls::policy pol,
 
 int main(int argc, char** argv) {
   const hls::cli cli(argc, argv);
-  const auto workers = static_cast<std::uint32_t>(cli.get_int("workers", 4));
+  const auto workers = static_cast<std::uint32_t>(cli.get_int_in("workers", 4, 1, hls::rt::runtime::kMaxWorkers));
   const std::int64_t n = cli.get_int("bodies", 1024);
   const int steps = static_cast<int>(cli.get_int("steps", 8));
 

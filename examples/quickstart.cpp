@@ -2,31 +2,39 @@
 //
 //   build/examples/quickstart [--workers=4] [--n=1000000]
 //                             [--telemetry] [--trace-out=trace.json]
+//                             [--chaos=SPEC]
 //
 // Creates a work-stealing runtime, runs a parallel loop under the paper's
 // hybrid scheduling scheme, and shows that switching the policy is a
 // one-argument change. --telemetry prints the scheduler counter report at
 // exit; --trace-out writes a Chrome trace (open in Perfetto) of every
-// chunk, claim, and steal.
+// chunk, claim, and steal. --chaos installs the fault injector (same spec
+// format as HLS_CHAOS; see docs/robustness.md), e.g. --chaos=42 for the
+// default fault mix under seed 42.
 #include <cstdio>
 #include <iostream>
 #include <mutex>
 #include <numeric>
 #include <vector>
 
+#include "faultsim/faultsim.h"
 #include "sched/loop.h"
 #include "telemetry/report.h"
 #include "util/cli.h"
 
 int main(int argc, char** argv) {
   const hls::cli cli(argc, argv);
-  const auto workers = static_cast<std::uint32_t>(cli.get_int("workers", 4));
+  const auto workers = static_cast<std::uint32_t>(
+      cli.get_int_in("workers", 4, 1, hls::rt::runtime::kMaxWorkers));
   const std::int64_t n = cli.get_int("n", 1'000'000);
   const auto tel_opt = hls::telemetry::run_options::from_cli(cli);
 
   // A runtime with P workers; the calling thread acts as worker 0.
   hls::rt::runtime rt(workers);
   hls::telemetry::apply(rt.tel(), tel_opt);
+  if (cli.has("chaos")) {
+    rt.set_chaos(hls::faultsim::make_injector(cli.get("chaos", ""), workers));
+  }
 
   std::vector<double> data(static_cast<std::size_t>(n));
 

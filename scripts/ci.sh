@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Full verification pipeline: release build + tests + benches, then a
-# ThreadSanitizer build of the concurrency suites.
+# Full verification pipeline: release build + tests + benches, a
+# chaos-seeded stress run, then ThreadSanitizer and UBSan builds of the
+# concurrency suites.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,13 +27,26 @@ for e in quickstart heat_stencil adaptive_quadrature simulate_machine \
 done
 build/examples/nas_driver all
 
+# Chaos-seeded stress run: the full stress suite under the fault injector
+# (docs/robustness.md). The seed is fixed so a failure replays exactly.
+echo "== chaos stress"
+HLS_CHAOS="seed=20260807,claim_fail=0.3,claim_peek=0.2,steal_fail=0.3,pop_skip=0.1,post_fail=0.2,delay=0.05,delay_us=50" \
+  build/tests/stress_test --gtest_brief=1
+build/examples/quickstart --chaos=20260807 > /dev/null
+
 cmake -B build-tsan -G Ninja -DHLS_SANITIZE=thread
 cmake --build build-tsan
 for t in deque_test runtime_test parallel_for_test hybrid_loop_test \
          task_pool_test task_group_test stress_test reduce_test \
          sched_features_test micro_workload_test telemetry_test \
-         telemetry_runtime_test; do
+         telemetry_runtime_test faultsim_test hardening_test \
+         chaos_sched_test; do
   echo "== TSAN $t"
   "build-tsan/tests/$t" --gtest_brief=1
 done
+
+# UBSan (with -fno-sanitize-recover=all, so any finding fails the run).
+cmake -B build-ubsan -G Ninja -DHLS_SANITIZE=undefined
+cmake --build build-ubsan
+ctest --test-dir build-ubsan --output-on-failure
 echo "CI OK"

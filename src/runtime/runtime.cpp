@@ -3,7 +3,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 
+#include "faultsim/faultsim.h"
 #include "util/rng.h"
 
 namespace hls::rt {
@@ -16,9 +19,25 @@ thread_local worker* tls_worker = nullptr;
 
 worker* current_worker_or_null() noexcept { return tls_worker; }
 
+namespace {
+std::uint32_t checked_worker_count(std::uint32_t num_workers) {
+  if (num_workers == 0) {
+    throw std::invalid_argument(
+        "hls: runtime requires at least 1 worker (got 0; pass --workers=1 "
+        "for a serial runtime)");
+  }
+  if (num_workers > runtime::kMaxWorkers) {
+    throw std::invalid_argument(
+        "hls: runtime worker count " + std::to_string(num_workers) +
+        " exceeds the maximum of " + std::to_string(runtime::kMaxWorkers) +
+        " (a negative --workers value cast to unsigned?)");
+  }
+  return num_workers;
+}
+}  // namespace
+
 runtime::runtime(std::uint32_t num_workers, std::uint64_t seed)
-    : tel_(num_workers == 0 ? 1 : num_workers) {
-  if (num_workers == 0) num_workers = 1;
+    : tel_(checked_worker_count(num_workers)) {
   std::uint64_t sm = seed;
   workers_.reserve(num_workers);
   for (std::uint32_t i = 0; i < num_workers; ++i) {
@@ -26,7 +45,10 @@ runtime::runtime(std::uint32_t num_workers, std::uint64_t seed)
         std::make_unique<worker>(*this, i, splitmix64(sm), tel_.of(i)));
   }
   tls_worker = workers_[0].get();
-  threads_.reserve(num_workers > 0 ? num_workers - 1 : 0);
+  if (auto chaos_cfg = faultsim::config::from_env()) {
+    set_chaos(std::make_shared<faultsim::injector>(*chaos_cfg, num_workers));
+  }
+  threads_.reserve(num_workers - 1);
   for (std::uint32_t i = 1; i < num_workers; ++i) {
     threads_.emplace_back([this, i] { worker_main(i); });
   }
@@ -48,6 +70,27 @@ worker& runtime::current_worker() {
     std::abort();
   }
   return *w;
+}
+
+void runtime::set_chaos(std::shared_ptr<faultsim::injector> inj) {
+  std::lock_guard<std::mutex> lk(chaos_mu_);
+  faultsim::injector* raw = inj.get();
+  // Retire rather than free: a worker between loading chaos_ and calling
+  // into the injector must never observe a destroyed object.
+  chaos_keepers_.push_back(std::move(inj));
+  chaos_.store(raw, std::memory_order_release);
+}
+
+std::exception_ptr runtime::take_orphan_exception() {
+  std::lock_guard<std::mutex> lk(orphan_mu_);
+  std::exception_ptr e = orphan_;
+  orphan_ = nullptr;
+  return e;
+}
+
+void runtime::capture_orphan(std::exception_ptr e) noexcept {
+  std::lock_guard<std::mutex> lk(orphan_mu_);
+  if (orphan_ == nullptr) orphan_ = std::move(e);
 }
 
 void runtime::notify_work() noexcept {

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -17,6 +18,10 @@
 #include "runtime/board.h"
 #include "runtime/worker.h"
 #include "telemetry/registry.h"
+
+namespace hls::faultsim {
+class injector;
+}
 
 namespace hls::rt {
 
@@ -27,7 +32,16 @@ worker* current_worker_or_null() noexcept;
 
 class runtime {
  public:
-  // num_workers >= 1. seed makes victim selection reproducible per worker.
+  // Upper bound on num_workers; far above any sane oversubscription, low
+  // enough to catch a negative count cast to unsigned.
+  static constexpr std::uint32_t kMaxWorkers = 4096;
+
+  // num_workers in [1, kMaxWorkers]; anything else throws
+  // std::invalid_argument (no silent clamping — a zero or garbage worker
+  // count is a configuration error the caller must see). seed makes victim
+  // selection reproducible per worker. If the HLS_CHAOS environment
+  // variable is set, a deterministic fault injector is installed (see
+  // faultsim/faultsim.h and set_chaos).
   explicit runtime(std::uint32_t num_workers, std::uint64_t seed = 42);
   ~runtime();
 
@@ -66,8 +80,30 @@ class runtime {
   telemetry::registry& tel() noexcept { return tel_; }
   const telemetry::registry& tel() const noexcept { return tel_; }
 
+  // ---- fault injection (faultsim/faultsim.h) ------------------------
+  // The installed chaos injector, or nullptr (the common case: one relaxed
+  // load per hook site). Hot paths call this directly.
+  faultsim::injector* chaos() const noexcept {
+    return chaos_.load(std::memory_order_acquire);
+  }
+
+  // Installs a fault injector (nullptr uninstalls). Safe to call while
+  // workers run: previously installed injectors are retired, not freed, so
+  // a worker racing with the swap still reads valid state.
+  void set_chaos(std::shared_ptr<faultsim::injector> inj);
+
+  // ---- last-resort exception capture --------------------------------
+  // First exception that escaped a raw task's execute() without being
+  // routed through a loop context or task_group (worker::run's backstop).
+  // The worker thread survives; the exception parks here. Returns and
+  // clears the stored exception, or nullptr if none.
+  std::exception_ptr take_orphan_exception();
+
  private:
+  friend class worker;
+
   void worker_main(std::uint32_t id);
+  void capture_orphan(std::exception_ptr e) noexcept;
 
   telemetry::registry tel_;  // before workers_: workers reference slots
   std::vector<std::unique_ptr<worker>> workers_;
@@ -78,6 +114,16 @@ class runtime {
   std::mutex sleep_mu_;
   std::condition_variable sleep_cv_;
   std::atomic<std::uint32_t> sleepers_{0};
+
+  // Chaos injector: raw pointer for the hot-path load; keepers (current +
+  // retired) pin every injector installed during this runtime's life so a
+  // racing hook-site read never dangles.
+  std::atomic<faultsim::injector*> chaos_{nullptr};
+  std::mutex chaos_mu_;
+  std::vector<std::shared_ptr<faultsim::injector>> chaos_keepers_;
+
+  std::mutex orphan_mu_;
+  std::exception_ptr orphan_;
 };
 
 }  // namespace hls::rt

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "faultsim/faultsim.h"
 #include "runtime/runtime.h"
 #include "runtime/task.h"
 
@@ -30,16 +31,37 @@ void worker::push(task* t) {
   rt_.notify_work();
 }
 
-task* worker::pop_local() { return deque_.pop(); }
+task* worker::pop_local() {
+  if (faultsim::injector* c = rt_.chaos();
+      c != nullptr && c->fire(faultsim::hook::deque_pop, id_)) {
+    // Skipped, not lost: the task stays queued for the next pop or a thief.
+    telemetry::bump(tel_.counters.faults_injected);
+    return nullptr;
+  }
+  return deque_.pop();
+}
 
 void worker::run(task* t) {
   telemetry::bump(tel_.counters.tasks_run);
+  // Last-resort exception boundary: loop chunks and task_group callables
+  // catch their own exceptions, so anything arriving here escaped a raw
+  // task's execute(). Swallowing it would lose it and rethrowing would
+  // kill the worker thread (std::terminate); instead it parks on the
+  // runtime for take_orphan_exception() and the worker survives.
+  const auto guarded = [&] {
+    try {
+      t->execute(*this);
+    } catch (...) {
+      telemetry::bump(tel_.counters.exceptions_caught);
+      rt_.capture_orphan(std::current_exception());
+    }
+  };
   if (tel_.events_on()) {
     const std::uint64_t t0 = tel_.now();
-    t->execute(*this);
+    guarded();
     tel_.emit({t0, tel_.now() - t0, 0, 0, telemetry::event_kind::task_span});
   } else {
-    t->execute(*this);
+    guarded();
   }
   delete t;
 }
@@ -51,6 +73,8 @@ void worker::drain_local() {
 bool worker::try_steal_round() {
   const std::uint32_t p = rt_.num_workers();
   if (p <= 1) return false;
+  faultsim::injector* chaos = rt_.chaos();
+  if (chaos != nullptr) chaos->maybe_delay(id_);
   const std::uint64_t t0 = tel_.now();
   std::uint64_t probes = 0;
   // One round: up to P random victim probes (standard randomized stealing;
@@ -60,6 +84,11 @@ bool worker::try_steal_round() {
         static_cast<std::uint32_t>(rng_.next_below(p - 1));
     const std::uint32_t v = victim >= id_ ? victim + 1 : victim;
     ++probes;
+    if (chaos != nullptr && chaos->fire(faultsim::hook::steal_probe, id_)) {
+      // Forced empty probe: counts as a miss, the victim keeps its task.
+      telemetry::bump(tel_.counters.faults_injected);
+      continue;
+    }
     if (task* t = rt_.worker_at(v).deque().steal()) {
       telemetry::bump(tel_.counters.steal_probes, probes);
       telemetry::bump(tel_.counters.steals);

@@ -1,0 +1,74 @@
+// Cooperative cancellation for parallel loops.
+//
+// A cancel_source owns a shared flag; cancel_tokens are cheap copyable
+// observers handed to loops via loop_options::cancel. Every policy checks
+// the token at chunk granularity: once cancelled, chunks that have not yet
+// started their body are skipped (their iterations still retire, so the
+// loop terminates and joins normally) and parallel_for returns
+// loop_status::cancelled. A chunk body that is already running is never
+// interrupted — cancellation is cooperative, like std::stop_token.
+//
+//   hls::cancel_source src;
+//   hls::loop_options opt;
+//   opt.cancel = src.token();
+//   // ... from any thread: src.request_cancel();
+//   auto res = hls::parallel_for(rt, 0, n, pol, body, opt);
+//   if (res.status == hls::loop_status::cancelled) ...
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace hls {
+
+class cancel_source;
+
+// Observer handle; default-constructed tokens are unlinked and never
+// report cancellation. Copies share the source's flag.
+class cancel_token {
+ public:
+  cancel_token() = default;
+
+  bool linked() const noexcept { return state_ != nullptr; }
+  bool cancelled() const noexcept {
+    return state_ != nullptr && state_->load(std::memory_order_acquire);
+  }
+
+  // Internal: the flag polled by the scheduler (nullptr when unlinked).
+  // The token (and thus the flag) must outlive the loop, which holds: the
+  // posting worker blocks inside parallel_for while loop_options is alive.
+  const std::atomic<bool>* flag() const noexcept { return state_.get(); }
+
+ private:
+  friend class cancel_source;
+  explicit cancel_token(std::shared_ptr<const std::atomic<bool>> s) noexcept
+      : state_(std::move(s)) {}
+
+  std::shared_ptr<const std::atomic<bool>> state_;
+};
+
+class cancel_source {
+ public:
+  cancel_source() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  // Any thread; idempotent. Loops observing a token of this source skip
+  // their remaining chunks.
+  void request_cancel() noexcept {
+    state_->store(true, std::memory_order_release);
+  }
+
+  bool cancel_requested() const noexcept {
+    return state_->load(std::memory_order_acquire);
+  }
+
+  // Re-arms the source for reuse across loops. Only safe while no loop is
+  // polling a token of this source.
+  void reset() noexcept { state_->store(false, std::memory_order_release); }
+
+  cancel_token token() const noexcept { return cancel_token(state_); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+}  // namespace hls

@@ -1,8 +1,15 @@
 #include "sched/loop.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <thread>
 
+#include "faultsim/faultsim.h"
 #include "sched/policies.h"
+#include "telemetry/registry.h"
 #include "trace/loop_trace.h"
 #include "util/bits.h"
 
@@ -38,83 +45,199 @@ class loop_span_guard {
   std::uint64_t t0_ = 0;
 };
 
+void validate_options(const loop_options& opt) {
+  if (opt.grain < 0) {
+    throw std::invalid_argument("hls: loop_options::grain must be >= 0 (got " +
+                                std::to_string(opt.grain) + ")");
+  }
+  if (opt.chunk < 0) {
+    throw std::invalid_argument("hls: loop_options::chunk must be >= 0 (got " +
+                                std::to_string(opt.chunk) + ")");
+  }
+  if (opt.min_chunk < 1) {
+    throw std::invalid_argument(
+        "hls: loop_options::min_chunk must be >= 1 (got " +
+        std::to_string(opt.min_chunk) + ")");
+  }
+  if (opt.partitions > kMaxLoopPartitions) {
+    throw std::invalid_argument(
+        "hls: loop_options::partitions " + std::to_string(opt.partitions) +
+        " exceeds the maximum of " + std::to_string(kMaxLoopPartitions) +
+        " (did a negative value get cast to unsigned?)");
+  }
+}
+
+// Foreign-thread fallback: chunked serial execution honoring cancellation
+// and the deadline. No worker context, so no telemetry; body exceptions
+// propagate directly to the caller (nothing is in flight to drain).
+loop_result run_serial_foreign(std::int64_t begin, std::int64_t end,
+                               chunk_body body, const loop_options& opt,
+                               std::int64_t grain) {
+  const std::atomic<bool>* cancel = opt.cancel.flag();
+  const std::uint64_t deadline_at =
+      opt.deadline.count() > 0
+          ? telemetry::steady_now_ns() +
+                static_cast<std::uint64_t>(opt.deadline.count())
+          : 0;
+  loop_result res;
+  for (std::int64_t lo = begin; lo < end; lo += grain) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      res.status = loop_status::cancelled;
+      res.skipped = end - lo;
+      return res;
+    }
+    if (deadline_at != 0 && telemetry::steady_now_ns() >= deadline_at) {
+      res.status = loop_status::deadline_expired;
+      res.skipped = end - lo;
+      return res;
+    }
+    const std::int64_t hi = std::min(end, lo + grain);
+    body(lo, hi);
+    if (opt.trace != nullptr) opt.trace->record(0, lo, hi);
+  }
+  return res;
+}
+
+void warn_foreign_thread_once() {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_acq_rel)) {
+    std::fprintf(stderr,
+                 "hls: parallel_for called from a thread not bound to the "
+                 "runtime; degrading to serial execution on the calling "
+                 "thread (this warning prints once)\n");
+  }
+}
+
 }  // namespace
 
-void parallel_for(rt::runtime& rt, std::int64_t begin, std::int64_t end,
-                  policy pol, chunk_body body, const loop_options& opt) {
-  if (end <= begin) return;
-  rt::worker& me = rt.current_worker();
+loop_result parallel_for(rt::runtime& rt, std::int64_t begin, std::int64_t end,
+                         policy pol, chunk_body body, const loop_options& opt) {
+  validate_options(opt);
+  if (end <= begin) return {};
   const std::int64_t n = end - begin;
   const std::uint32_t p = rt.num_workers();
+  const std::int64_t grain =
+      opt.grain > 0 ? opt.grain : default_grain(n, p);
+
+  rt::worker* me_ptr = rt::current_worker_or_null();
+  if (me_ptr == nullptr || &me_ptr->rt() != &rt) {
+    // A foreign thread has no deque, no board access, and no telemetry
+    // lane; running the loop serially on it is the only sound option.
+    warn_foreign_thread_once();
+    return run_serial_foreign(begin, end, body, opt, grain);
+  }
+  rt::worker& me = *me_ptr;
 
   telemetry::bump(me.tel().counters.loops_posted);
   loop_span_guard span(rt, me, pol, opt, n);
 
-  const std::int64_t grain =
-      opt.grain > 0 ? opt.grain : default_grain(n, p);
+  const std::atomic<bool>* cancel_flag = opt.cancel.flag();
+  const bool stop_hazards =
+      cancel_flag != nullptr || opt.deadline.count() > 0;
 
-  if (pol == policy::serial) {
+  if (pol == policy::serial && !stop_hazards) {
     body(begin, end);
     if (opt.trace != nullptr) opt.trace->record(me.id(), begin, end);
-    return;
+    return {};
   }
 
   auto ctx = std::make_shared<sched::loop_ctx>(begin, end, body, grain,
                                                opt.trace);
+  ctx->cancel = cancel_flag;
+  if (opt.deadline.count() > 0) {
+    ctx->deadline_at_ns = telemetry::steady_now_ns() +
+                          static_cast<std::uint64_t>(opt.deadline.count());
+  }
 
-  switch (pol) {
-    case policy::serial:
-      return;  // handled above; unreachable
-
-    case policy::dynamic_ws: {
-      // Vanilla cilk_for: pure divide-and-conquer from the caller's deque;
-      // idle workers join via random stealing only.
-      sched::ws_subtask::run_span(me, ctx, begin, end);
-      break;
+  const auto result_of = [&ctx]() -> loop_result {
+    loop_result res;
+    switch (ctx->stop.load(std::memory_order_acquire)) {
+      case sched::loop_ctx::kCancelled:
+        res.status = loop_status::cancelled;
+        break;
+      case sched::loop_ctx::kDeadline:
+        res.status = loop_status::deadline_expired;
+        break;
+      default:
+        break;
     }
+    res.skipped = ctx->skipped.load(std::memory_order_acquire);
+    return res;
+  };
 
-    case policy::static_part:
-    case policy::dynamic_shared:
-    case policy::guided:
-    case policy::hybrid: {
-      std::shared_ptr<rt::loop_record> rec;
-      if (pol == policy::static_part) {
-        rec = std::make_shared<sched::static_record>(ctx, p);
-      } else if (pol == policy::dynamic_shared) {
-        const std::int64_t chunk =
-            opt.chunk > 0 ? opt.chunk : default_grain(n, p);
-        rec = std::make_shared<sched::shared_queue_record>(ctx, chunk);
-      } else if (pol == policy::guided) {
-        rec = std::make_shared<sched::guided_record>(ctx, opt.min_chunk, p);
-      } else {
-        const std::uint32_t parts =
-            opt.partitions > 0 ? opt.partitions : p;
-        if (opt.iteration_weight) {
-          rec = std::make_shared<sched::hybrid_record>(ctx, parts,
-                                                       opt.iteration_weight);
-        } else {
-          rec = std::make_shared<sched::hybrid_record>(ctx, parts);
-        }
-      }
-      const int slot = rt.loop_board().post(rec);
-      rt.notify_work();
-      if (slot < 0 && pol == policy::static_part) {
-        // Board overflow: strict static needs every worker to arrive, which
-        // cannot be guaranteed without a slot. Degrade to executing the
-        // whole range on the posting worker (correctness over placement).
-        ctx->run_chunk(me, begin, end);
-      } else {
-        rec->participate(me);
-      }
-      me.work_until([&] { return ctx->finished(); });
-      rt.loop_board().clear(slot);
-      ctx->rethrow_if_failed();
-      return;
+  if (pol == policy::serial) {
+    // Serial with a cancel token or deadline: chunked through run_chunk so
+    // stop polling, skip accounting, and counters behave like the parallel
+    // policies.
+    for (std::int64_t lo = begin; lo < end; lo += grain) {
+      ctx->run_chunk(me, lo, std::min(end, lo + grain));
+    }
+    ctx->rethrow_if_failed();
+    return result_of();
+  }
+
+  if (pol == policy::dynamic_ws) {
+    // Vanilla cilk_for: pure divide-and-conquer from the caller's deque;
+    // idle workers join via random stealing only.
+    sched::ws_subtask::run_span(me, ctx, begin, end);
+    me.work_until([&] { return ctx->finished(); });
+    ctx->rethrow_if_failed();
+    return result_of();
+  }
+
+  std::shared_ptr<rt::loop_record> rec;
+  if (pol == policy::static_part) {
+    rec = std::make_shared<sched::static_record>(ctx, p);
+  } else if (pol == policy::dynamic_shared) {
+    const std::int64_t chunk =
+        opt.chunk > 0 ? opt.chunk : default_grain(n, p);
+    rec = std::make_shared<sched::shared_queue_record>(ctx, chunk);
+  } else if (pol == policy::guided) {
+    rec = std::make_shared<sched::guided_record>(ctx, opt.min_chunk, p);
+  } else {
+    const std::uint32_t parts = opt.partitions > 0 ? opt.partitions : p;
+    if (opt.iteration_weight) {
+      rec = std::make_shared<sched::hybrid_record>(ctx, parts,
+                                                   opt.iteration_weight);
+    } else {
+      rec = std::make_shared<sched::hybrid_record>(ctx, parts);
     }
   }
 
+  int slot;
+  if (faultsim::injector* chaos = rt.chaos();
+      chaos != nullptr && chaos->fire(faultsim::hook::board_post, me.id())) {
+    // Forced board overflow: exercises the same degraded path a full board
+    // takes, without needing kSlots concurrent loops.
+    telemetry::bump(me.tel().counters.faults_injected);
+    slot = -1;
+  } else {
+    slot = rt.loop_board().post(rec);
+  }
+  rt.notify_work();
+  if (slot < 0 && pol == policy::static_part) {
+    // Board overflow: strict static needs every worker to arrive, which
+    // cannot be guaranteed without a slot. Degrade to executing the
+    // whole range on the posting worker (correctness over placement).
+    ctx->run_chunk(me, begin, end);
+  } else if (slot < 0) {
+    // No slot means no other worker can discover this record, so the
+    // posting worker must drive it to completion itself. One participate()
+    // call is not enough: under chaos a forced peek failure can make it
+    // return without doing anything, so loop until the record drains
+    // (try_progress keeps stolen subtasks of hybrid partitions moving).
+    while (!ctx->finished()) {
+      if (!rec->participate(me) && !me.try_progress()) {
+        std::this_thread::yield();
+      }
+    }
+  } else {
+    rec->participate(me);
+  }
   me.work_until([&] { return ctx->finished(); });
+  rt.loop_board().clear(slot);
   ctx->rethrow_if_failed();
+  return result_of();
 }
 
 }  // namespace hls

@@ -3,10 +3,28 @@
 #include <algorithm>
 
 #include "core/claim.h"
+#include "faultsim/faultsim.h"
+#include "runtime/runtime.h"
 #include "runtime/worker.h"
 #include "trace/loop_trace.h"
 
 namespace hls::sched {
+
+bool loop_ctx::stop_requested(rt::worker& w) noexcept {
+  if (stop.load(std::memory_order_relaxed) != kRunning) return true;
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    latch_stop(kCancelled);
+    return true;
+  }
+  if (deadline_at_ns != 0 &&
+      telemetry::steady_now_ns() >= deadline_at_ns) {
+    if (latch_stop(kDeadline)) {
+      telemetry::bump(w.tel().counters.deadline_expirations);
+    }
+    return true;
+  }
+  return false;
+}
 
 void loop_ctx::run_chunk(rt::worker& w, std::int64_t lo, std::int64_t hi) {
   if (lo >= hi) return;
@@ -15,17 +33,31 @@ void loop_ctx::run_chunk(rt::worker& w, std::int64_t lo, std::int64_t hi) {
   // mode; the always-on path is pure relaxed counter stores.
   const bool timed = tel.events_on();
   const std::uint64_t t0 = timed ? tel.now() : 0;
-  if (!failed.load(std::memory_order_acquire)) {
+  // Drain mode: once a body has thrown or the loop was cancelled / timed
+  // out, remaining chunks skip their bodies but still retire, so the loop
+  // terminates and claim accounting stays consistent.
+  const bool skip =
+      failed.load(std::memory_order_acquire) || stop_requested(w);
+  if (!skip) {
     try {
+      if (faultsim::injector* c = w.rt().chaos();
+          c != nullptr && c->should_throw(w.id(), lo, hi)) {
+        telemetry::bump(tel.counters.faults_injected);
+        throw faultsim::injected_fault(w.id(), lo, hi);
+      }
       body(lo, hi);
       if (trace != nullptr) trace->record(w.id(), lo, hi);
     } catch (...) {
+      telemetry::bump(tel.counters.exceptions_caught);
       std::lock_guard<std::mutex> lk(error_mu);
       if (!failed.load(std::memory_order_relaxed)) {
         first_error = std::current_exception();
         failed.store(true, std::memory_order_release);
       }
     }
+  } else {
+    skipped.fetch_add(hi - lo, std::memory_order_relaxed);
+    telemetry::bump(tel.counters.cancelled_chunks);
   }
   telemetry::bump(tel.counters.chunks_run);
   if (timed) {
@@ -107,6 +139,23 @@ bool shared_queue_record::participate(rt::worker& w) {
   // Stay on the queue until it drains, like an OpenMP thread inside a
   // `schedule(dynamic)` region.
   while (next_.load(std::memory_order_relaxed) < ctx_->end) {
+    // Prompt stop: on cancellation/deadline/failure, swallow the whole
+    // tail in one exchange instead of skipping chunk by chunk. The tail
+    // [lo, end) is disjoint from every chunk claimed before the exchange,
+    // and later claimants observe lo >= end and leave, so each iteration
+    // still retires exactly once.
+    if (ctx_->failed.load(std::memory_order_acquire) ||
+        ctx_->stop_requested(w)) {
+      const std::int64_t lo =
+          next_.exchange(ctx_->end, std::memory_order_acq_rel);
+      if (lo < ctx_->end) {
+        ctx_->skipped.fetch_add(ctx_->end - lo, std::memory_order_relaxed);
+        telemetry::bump(w.tel().counters.cancelled_chunks);
+        ctx_->remaining.fetch_sub(ctx_->end - lo,
+                                  std::memory_order_acq_rel);
+      }
+      return worked;
+    }
     const std::int64_t lo = next_.fetch_add(chunk_, std::memory_order_acq_rel);
     if (lo >= ctx_->end) break;
     const std::int64_t hi = std::min(lo + chunk_, ctx_->end);
@@ -128,6 +177,19 @@ guided_record::guided_record(std::shared_ptr<loop_ctx> ctx,
 bool guided_record::participate(rt::worker& w) {
   bool worked = false;
   for (;;) {
+    // Same prompt-stop drain as shared_queue_record.
+    if (ctx_->failed.load(std::memory_order_acquire) ||
+        ctx_->stop_requested(w)) {
+      const std::int64_t lo =
+          next_.exchange(ctx_->end, std::memory_order_acq_rel);
+      if (lo < ctx_->end) {
+        ctx_->skipped.fetch_add(ctx_->end - lo, std::memory_order_relaxed);
+        telemetry::bump(w.tel().counters.cancelled_chunks);
+        ctx_->remaining.fetch_sub(ctx_->end - lo,
+                                  std::memory_order_acq_rel);
+      }
+      return worked;
+    }
     std::int64_t lo = next_.load(std::memory_order_acquire);
     std::int64_t hi;
     do {
@@ -174,15 +236,62 @@ void hybrid_record::execute_partition(rt::worker& w, std::uint64_t r) {
   }
 }
 
+namespace {
+
+// Claim-flag adapter with a chaos layer in front: a fired claim_fail fault
+// reports "already claimed" WITHOUT setting the flag, so the partition
+// stays available. This can only delay execution (rescue_sweep restores
+// coverage), never duplicate it — execution still requires winning the
+// real fetch_or.
+struct chaos_claim_flags {
+  core::partition_set::flags_adapter inner;
+  faultsim::injector* chaos;
+  std::uint32_t worker;
+  telemetry::worker_state* tel;
+
+  bool test_and_set(std::uint64_t r) noexcept {
+    if (chaos != nullptr &&
+        chaos->fire(faultsim::hook::claim_fail, worker)) {
+      telemetry::bump(tel->counters.faults_injected);
+      return true;
+    }
+    return inner.test_and_set(r);
+  }
+};
+
+}  // namespace
+
+bool hybrid_record::rescue_sweep(rt::worker& w) {
+  bool worked = false;
+  for (std::uint64_t r = 0; r < parts_.count(); ++r) {
+    if (!parts_.is_claimed(r) && parts_.try_claim(r)) {
+      telemetry::bump(w.tel().counters.claims_ok);
+      execute_partition(w, r);
+      worked = true;
+    }
+  }
+  return worked;
+}
+
 bool hybrid_record::participate(rt::worker& w) {
   telemetry::worker_state& tel = w.tel();
+  faultsim::injector* chaos = w.rt().chaos();
+  const bool chaos_claims =
+      chaos != nullptr && chaos->cfg().claims_active();
+  if (chaos != nullptr) chaos->maybe_delay(w.id());
   // DoHybridLoop steal protocol: a worker arriving at the loop first checks
   // its designated starting partition r = w XOR 0; if that partition is
   // claimed it reverts to ordinary randomized work stealing. When fewer
   // partitions than workers are requested, worker IDs wrap modulo R.
   const std::uint32_t weff =
       w.id() & static_cast<std::uint32_t>(parts_.count() - 1);
-  if (parts_.is_claimed(core::claim_target(0, weff))) {
+  bool observed_claimed = parts_.is_claimed(core::claim_target(0, weff));
+  if (!observed_claimed && chaos != nullptr &&
+      chaos->fire(faultsim::hook::claim_peek, w.id())) {
+    telemetry::bump(tel.counters.faults_injected);
+    observed_claimed = true;
+  }
+  if (observed_claimed) {
     // Observed-claimed designated partition: the Alg. 3 line 14 exit.
     telemetry::bump(tel.counters.claims_failed);
     if (tel.events_on()) {
@@ -190,10 +299,16 @@ bool hybrid_record::participate(rt::worker& w) {
                 static_cast<std::int64_t>(core::claim_target(0, weff)), 0,
                 telemetry::event_kind::claim_fail});
     }
+    // Under claim chaos the "designated claimed => my subtree is covered"
+    // implication no longer holds, so leftovers must be swept here too —
+    // otherwise a loop whose every designated partition is claimed could
+    // strand a forced-skipped partition forever.
+    if (chaos_claims && !parts_.all_claimed()) return rescue_sweep(w);
     return false;
   }
 
-  auto flags = parts_.flags();
+  auto inner = parts_.flags();
+  chaos_claim_flags flags{inner, chaos, w.id(), &tel};
   const bool traced = tel.events_on();
   const core::claim_stats st = core::run_claim_loop(
       weff, parts_.count(), flags,
@@ -209,9 +324,17 @@ bool hybrid_record::participate(rt::worker& w) {
         }
       });
   // Counter rollup + live Lemma 4 check on the completed claim sequence.
+  // Injected failures count as failures here on purpose: the lg R + 1
+  // consecutive-failure bound is structural (each failure strictly raises
+  // lsb(i)), so it must hold no matter why a claim failed — which is
+  // exactly what the chaos suites assert.
   tel.note_claim_sequence(st.successes, st.failures, st.max_consec_failures,
                           parts_.count());
-  return st.successes > 0;
+  bool worked = st.successes > 0;
+  if (chaos_claims && !parts_.all_claimed()) {
+    worked = rescue_sweep(w) || worked;
+  }
+  return worked;
 }
 
 }  // namespace hls::sched

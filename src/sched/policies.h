@@ -24,6 +24,9 @@ namespace hls::sched {
 // (shared_ptr) because stolen subtasks and board visitors may hold
 // references until the last chunk retires.
 struct loop_ctx {
+  // Why this loop stopped handing out bodies (maps onto loop_status).
+  enum : std::uint8_t { kRunning = 0, kCancelled = 1, kDeadline = 2 };
+
   loop_ctx(std::int64_t b, std::int64_t e, chunk_body body_,
            std::int64_t grain_, trace::loop_trace* trace_)
       : begin(b), end(e), body(body_), grain(grain_), trace(trace_),
@@ -43,19 +46,44 @@ struct loop_ctx {
   std::exception_ptr first_error;
   std::mutex error_mu;
 
+  // Cancellation/deadline state, set by parallel_for before the loop is
+  // published. `cancel` borrows loop_options::cancel's flag (the options
+  // outlive the blocking call); deadline_at_ns is an absolute
+  // telemetry::steady_now_ns instant, 0 for none.
+  const std::atomic<bool>* cancel = nullptr;
+  std::uint64_t deadline_at_ns = 0;
+  std::atomic<std::uint8_t> stop{kRunning};
+  alignas(kCacheLine) std::atomic<std::int64_t> skipped{0};
+
   bool finished() const noexcept {
     return remaining.load(std::memory_order_acquire) <= 0;
   }
+
+  // Polls cancellation and the deadline; latches the first observed stop
+  // reason. Called once per chunk (w pays for the deadline's clock read
+  // only when a deadline is set and bumps deadline_expirations on the
+  // latching transition).
+  bool stop_requested(rt::worker& w) noexcept;
 
   // Rethrows the first captured body exception, if any. Called by the
   // posting worker after the loop completes.
   void rethrow_if_failed();
 
-  // Runs body on [lo, hi) on worker w, records the trace and chunk
-  // telemetry, then retires the iterations. The retire is last: once
+  // Runs body on [lo, hi) on worker w — unless the loop has failed or
+  // stopped, in which case the body is skipped — records the trace and
+  // chunk telemetry, then retires the iterations. The retire is last: once
   // remaining hits 0 the posting thread may return and the body callable
   // may die, so nothing may touch `body` afterwards.
   void run_chunk(rt::worker& w, std::int64_t lo, std::int64_t hi);
+
+ private:
+  // Latches `reason` if still running; returns true for the latching call.
+  bool latch_stop(std::uint8_t reason) noexcept {
+    std::uint8_t expect = kRunning;
+    return stop.compare_exchange_strong(expect, reason,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire);
+  }
 };
 
 // Divide-and-conquer subtask used by dynamic_ws and inside hybrid
@@ -146,6 +174,13 @@ class hybrid_record final : public rt::loop_record {
 
  private:
   void execute_partition(rt::worker& w, std::uint64_t r);
+
+  // Chaos-only coverage restoration: forced claim failures (faultsim) can
+  // leave partitions unclaimed after every claim loop has exited, which
+  // the real protocol's "failure implies claimed" invariant rules out.
+  // The sweep linearly try_claims leftovers so injected faults delay
+  // execution but can never lose a partition. Returns true if it ran any.
+  bool rescue_sweep(rt::worker& w);
 
   std::shared_ptr<loop_ctx> ctx_;
   core::partition_set parts_;

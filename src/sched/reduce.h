@@ -33,7 +33,12 @@ T parallel_reduce(rt::runtime& rt, std::int64_t begin, std::int64_t end,
     // reduction while blocked inside them, and a read-modify-write spanning
     // that suspension would lose updates.
     T v = chunk_fn(lo, hi);
-    T& lane = lanes[rt.current_worker().id()].value;
+    // Foreign-thread calls degrade to serial inside parallel_for, so lane 0
+    // is exclusively ours there; on a bound worker the lane is per-worker.
+    rt::worker* me = rt::current_worker_or_null();
+    const std::uint32_t lane_id =
+        (me != nullptr && &me->rt() == &rt) ? me->id() : 0;
+    T& lane = lanes[lane_id].value;
     lane = combine(std::move(lane), std::move(v));
   };
   parallel_for(rt, begin, end, pol, body, opt);

@@ -78,10 +78,11 @@ class task_group {
     spawned_task(task_group* group, F fn)
         : group_(group), fn_(std::move(fn)) {}
 
-    void execute(rt::worker&) override {
+    void execute(rt::worker& w) override {
       try {
         fn_();
       } catch (...) {
+        telemetry::bump(w.tel().counters.exceptions_caught);
         group_->capture_exception(std::current_exception());
       }
       group_->pending_.fetch_sub(1, std::memory_order_acq_rel);

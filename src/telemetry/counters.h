@@ -32,7 +32,11 @@
   X(claims_failed, "failed hybrid partition claims")                     \
   X(claim_sequences, "passes through the hybrid claim loop")             \
   X(idle_sleeps, "timed idle sleeps")                                    \
-  X(idle_sleep_ns, "time spent in timed idle sleep, ns")
+  X(idle_sleep_ns, "time spent in timed idle sleep, ns")                 \
+  X(cancelled_chunks, "chunks skipped by cancellation/deadline/drain")   \
+  X(exceptions_caught, "exceptions captured at task/chunk boundaries")   \
+  X(faults_injected, "faults injected by the chaos layer (faultsim)")    \
+  X(deadline_expirations, "loops stopped by an expired deadline")
 
 #define HLS_TELEMETRY_MAX_COUNTERS(X)                                    \
   X(max_claim_seq_len, "longest claim sequence: max consecutive failed " \

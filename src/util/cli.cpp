@@ -1,5 +1,6 @@
 #include "util/cli.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -28,9 +29,34 @@ std::string cli::get(const std::string& key, const std::string& def) const {
   return it == flags_.end() ? def : it->second;
 }
 
+namespace {
+std::int64_t parse_int_strict(const std::string& key,
+                              const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+    throw std::invalid_argument("--" + key + "=" + value +
+                                " is not a valid integer");
+  }
+  return v;
+}
+}  // namespace
+
 std::int64_t cli::get_int(const std::string& key, std::int64_t def) const {
   const auto it = flags_.find(key);
-  return it == flags_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+  return it == flags_.end() ? def : parse_int_strict(key, it->second);
+}
+
+std::int64_t cli::get_int_in(const std::string& key, std::int64_t def,
+                             std::int64_t lo, std::int64_t hi) const {
+  const std::int64_t v = get_int(key, def);
+  if (v < lo || v > hi) {
+    throw std::invalid_argument(
+        "--" + key + "=" + std::to_string(v) + " is out of range [" +
+        std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return v;
 }
 
 double cli::get_double(const std::string& key, double def) const {
@@ -54,7 +80,7 @@ std::vector<std::int64_t> cli::get_int_list(
   while (pos < s.size()) {
     auto comma = s.find(',', pos);
     if (comma == std::string::npos) comma = s.size();
-    out.push_back(std::strtoll(s.substr(pos, comma - pos).c_str(), nullptr, 10));
+    out.push_back(parse_int_strict(key, s.substr(pos, comma - pos)));
     pos = comma + 1;
   }
   return out;

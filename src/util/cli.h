@@ -14,7 +14,17 @@ class cli {
 
   bool has(const std::string& key) const;
   std::string get(const std::string& key, const std::string& def) const;
+
+  // Integer flags are parsed strictly: a value that is not a (possibly
+  // signed) decimal integer throws std::invalid_argument naming the flag,
+  // instead of silently reading as 0.
   std::int64_t get_int(const std::string& key, std::int64_t def) const;
+
+  // get_int plus a range check [lo, hi]; out-of-range values throw
+  // std::invalid_argument with the accepted range.
+  std::int64_t get_int_in(const std::string& key, std::int64_t def,
+                          std::int64_t lo, std::int64_t hi) const;
+
   double get_double(const std::string& key, double def) const;
   bool get_bool(const std::string& key, bool def) const;
 

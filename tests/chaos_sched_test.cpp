@@ -1,0 +1,151 @@
+// Chaos suite: drives the schedulers under deterministic fault injection
+// (faultsim) and asserts the properties the paper's correctness argument
+// rests on — exactly-once execution of every iteration, the Lemma 4
+// claim-sequence bound lg R + 1 (which is structural, so injected claim
+// failures must not be able to violate it), and exception delivery.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "faultsim/faultsim.h"
+#include "sched/loop.h"
+#include "util/bits.h"
+
+namespace hls {
+namespace {
+
+constexpr std::uint32_t kWorkers = 4;
+constexpr std::int64_t kN = 512;
+constexpr std::uint32_t kPartitions = 8;  // R = 8 -> bound lg R + 1 = 4
+
+// Runs one loop under the given policy and asserts every iteration ran
+// exactly once despite the installed chaos.
+void assert_exactly_once(rt::runtime& rt, policy pol, std::uint64_t seed) {
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(kN));
+  for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+  loop_options opt;
+  opt.partitions = kPartitions;
+  const loop_result res =
+      for_each(rt, 0, kN, pol, [&](std::int64_t i) {
+        hits[static_cast<std::size_t>(i)].fetch_add(1,
+                                                    std::memory_order_relaxed);
+      }, opt);
+  ASSERT_TRUE(res.ok()) << policy_name(pol) << " seed " << seed;
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+        << policy_name(pol) << " seed " << seed << " iteration " << i;
+  }
+}
+
+TEST(ChaosSched, HybridIsExactlyOnceAcross200Seeds) {
+  rt::runtime rt(kWorkers);
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    rt.set_chaos(std::make_shared<faultsim::injector>(
+        faultsim::config::default_mix(seed), kWorkers));
+    assert_exactly_once(rt, policy::hybrid, seed);
+  }
+  const telemetry::counter_set total = rt.tel().totals();
+  // The chaos layer actually perturbed the run...
+  EXPECT_GT(total.faults_injected, 0u);
+  // ...and Lemma 4 survived every injected claim failure: the bound is
+  // structural (each consecutive failure strictly raises lsb(i)), so no
+  // failure pattern — real or injected — can exceed lg R + 1.
+  const std::uint64_t bound = ceil_log2(kPartitions) + 1;
+  for (std::uint32_t w = 0; w < kWorkers; ++w) {
+    EXPECT_LE(rt.tel().of_worker(w).max_claim_seq_len, bound)
+        << "worker " << w;
+  }
+  EXPECT_EQ(rt.tel().lemma4_violations(), 0u);
+  const telemetry::histogram_snapshot h = rt.tel().claim_seq_histogram();
+  EXPECT_LE(h.max, bound);
+}
+
+TEST(ChaosSched, EveryPolicyIsExactlyOnceUnderChaos) {
+  rt::runtime rt(kWorkers);
+  constexpr policy kPolicies[] = {policy::serial, policy::static_part,
+                                  policy::dynamic_shared, policy::guided,
+                                  policy::dynamic_ws, policy::hybrid};
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    rt.set_chaos(std::make_shared<faultsim::injector>(
+        faultsim::config::default_mix(seed), kWorkers));
+    for (policy pol : kPolicies) {
+      assert_exactly_once(rt, pol, seed);
+    }
+  }
+  EXPECT_EQ(rt.tel().lemma4_violations(), 0u);
+}
+
+TEST(ChaosSched, InjectedBodyExceptionIsDeliveredUnderChaos) {
+  rt::runtime rt(kWorkers);
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    faultsim::config cfg = faultsim::config::default_mix(seed);
+    // Exactly one deterministic throw site: whichever worker executes the
+    // chunk containing iteration 256 throws. Exactly-once execution makes
+    // the throw itself exactly-once, so delivery must be certain.
+    cfg.throw_at.push_back({faultsim::config::kAnyWorker, 256});
+    rt.set_chaos(std::make_shared<faultsim::injector>(cfg, kWorkers));
+    loop_options opt;
+    opt.partitions = kPartitions;
+    EXPECT_THROW(
+        parallel_for(rt, 0, kN, policy::hybrid,
+                     [](std::int64_t, std::int64_t) {}, opt),
+        faultsim::injected_fault)
+        << "seed " << seed;
+  }
+  EXPECT_GE(rt.tel().totals().exceptions_caught, 50u);
+}
+
+TEST(ChaosSched, RescueSweepKeepsCoverageUnderPureClaimChaos) {
+  // Claim-path faults only, at high rates: without the rescue sweep a
+  // forced-skipped partition could be stranded forever (the "failure
+  // implies claimed" invariant is deliberately broken by injection).
+  rt::runtime rt(kWorkers);
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    faultsim::config cfg;
+    cfg.seed = seed;
+    cfg.of(faultsim::hook::claim_peek) = 0.9;
+    cfg.of(faultsim::hook::claim_fail) = 0.9;
+    rt.set_chaos(std::make_shared<faultsim::injector>(cfg, kWorkers));
+    assert_exactly_once(rt, policy::hybrid, seed);
+  }
+  EXPECT_EQ(rt.tel().lemma4_violations(), 0u);
+}
+
+TEST(ChaosSched, ForcedBoardOverflowStillCompletes) {
+  // post_fail = certain (clamped to kMaxSchedulerRate): most loops take
+  // the no-slot path where the posting worker drives the record alone.
+  rt::runtime rt(kWorkers);
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    faultsim::config cfg;
+    cfg.seed = seed;
+    cfg.of(faultsim::hook::board_post) = 1.0;  // clamped to 0.95
+    rt.set_chaos(std::make_shared<faultsim::injector>(cfg, kWorkers));
+    for (policy pol : {policy::static_part, policy::dynamic_shared,
+                       policy::guided, policy::hybrid}) {
+      assert_exactly_once(rt, pol, seed);
+    }
+  }
+}
+
+TEST(ChaosSched, EnvSpecInstallsInjectorAtConstruction) {
+  ::setenv("HLS_CHAOS", "seed=7,claim_fail=0.2,steal_fail=0.2", 1);
+  {
+    rt::runtime rt(2);
+    ASSERT_NE(rt.chaos(), nullptr);
+    EXPECT_EQ(rt.chaos()->cfg().seed, 7u);
+    assert_exactly_once(rt, policy::hybrid, 7);
+  }
+  // A malformed spec is reported and ignored — startup must not crash.
+  ::setenv("HLS_CHAOS", "not,a,valid,spec", 1);
+  {
+    rt::runtime rt(2);
+    EXPECT_EQ(rt.chaos(), nullptr);
+  }
+  ::unsetenv("HLS_CHAOS");
+}
+
+}  // namespace
+}  // namespace hls

@@ -1,0 +1,329 @@
+// Hardening-layer tests: body exception propagation across every policy,
+// cooperative cancellation and deadlines, argument validation, the
+// foreign-thread serial degrade, and the orphan-exception backstop.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "runtime/task.h"
+#include "sched/cancel.h"
+#include "sched/loop.h"
+#include "sched/reduce.h"
+#include "sched/task_group.h"
+
+namespace hls {
+namespace {
+
+constexpr policy kAllPolicies[] = {
+    policy::serial,  policy::static_part, policy::dynamic_shared,
+    policy::guided,  policy::dynamic_ws,  policy::hybrid};
+
+// ---- exception propagation -------------------------------------------
+
+class ExceptionPerPolicy : public ::testing::TestWithParam<policy> {};
+
+TEST_P(ExceptionPerPolicy, BodyExceptionReachesTheCaller) {
+  rt::runtime rt(4);
+  const std::int64_t n = 4096;
+  std::atomic<std::int64_t> executed{0};
+  bool caught = false;
+  try {
+    parallel_for(rt, 0, n, GetParam(), [&](std::int64_t lo, std::int64_t hi) {
+      if (lo <= 1234 && 1234 < hi) {
+        throw std::runtime_error("boom at 1234");
+      }
+      executed.fetch_add(hi - lo, std::memory_order_relaxed);
+    });
+  } catch (const std::runtime_error& e) {
+    caught = true;
+    EXPECT_STREQ(e.what(), "boom at 1234");
+  }
+  EXPECT_TRUE(caught) << policy_name(GetParam());
+  // The loop joined: the runtime is fully reusable afterwards.
+  std::atomic<std::int64_t> after{0};
+  const loop_result res =
+      for_each(rt, 0, n, GetParam(), [&](std::int64_t) {
+        after.fetch_add(1, std::memory_order_relaxed);
+      });
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(after.load(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ExceptionPerPolicy,
+                         ::testing::ValuesIn(kAllPolicies),
+                         [](const ::testing::TestParamInfo<policy>& info) {
+                           return std::string(policy_name(info.param));
+                         });
+
+TEST(Hardening, ExceptionDrainSkipsRemainingChunksAndCounts) {
+  rt::runtime rt(1);
+  const std::int64_t n = 1024;
+  loop_options opt;
+  opt.chunk = 8;
+  std::atomic<std::int64_t> executed{0};
+  EXPECT_THROW(
+      parallel_for(
+          rt, 0, n, policy::dynamic_shared,
+          [&](std::int64_t lo, std::int64_t hi) {
+            if (lo == 0) throw std::logic_error("first chunk dies");
+            executed.fetch_add(hi - lo, std::memory_order_relaxed);
+          },
+          opt),
+      std::logic_error);
+  // With one worker the failing chunk runs first: everything after it
+  // drains without executing its body.
+  EXPECT_EQ(executed.load(), 0);
+  const auto totals = rt.tel().totals();
+  EXPECT_GE(totals.exceptions_caught, 1u);
+  EXPECT_GT(totals.cancelled_chunks, 0u);
+}
+
+TEST(Hardening, TaskGroupStillDeliversExceptionsAndCounts) {
+  rt::runtime rt(2);
+  task_group tg(rt);
+  tg.spawn([] { throw std::runtime_error("spawned failure"); });
+  EXPECT_THROW(tg.wait(), std::runtime_error);
+  EXPECT_GE(rt.tel().totals().exceptions_caught, 1u);
+}
+
+// ---- cancellation ----------------------------------------------------
+
+TEST(Hardening, CancelBeforeStartSkipsEveryPolicy) {
+  rt::runtime rt(4);
+  const std::int64_t n = 2048;
+  for (policy pol : kAllPolicies) {
+    cancel_source src;
+    src.request_cancel();
+    loop_options opt;
+    opt.cancel = src.token();
+    std::atomic<std::int64_t> executed{0};
+    const loop_result res =
+        parallel_for(rt, 0, n, pol, [&](std::int64_t lo, std::int64_t hi) {
+          executed.fetch_add(hi - lo, std::memory_order_relaxed);
+        }, opt);
+    EXPECT_EQ(res.status, loop_status::cancelled) << policy_name(pol);
+    EXPECT_FALSE(res.ok());
+    EXPECT_EQ(executed.load(), 0) << policy_name(pol);
+    EXPECT_EQ(res.skipped, n) << policy_name(pol);
+  }
+  EXPECT_GT(rt.tel().totals().cancelled_chunks, 0u);
+}
+
+TEST(Hardening, CancelMidLoopStopsAtChunkGranularity) {
+  // One worker makes the schedule deterministic: chunks run in order and
+  // the cancel lands between two of them.
+  rt::runtime rt(1);
+  const std::int64_t n = 512;
+  cancel_source src;
+  loop_options opt;
+  opt.cancel = src.token();
+  opt.chunk = 4;
+  std::atomic<std::int64_t> executed{0};
+  const loop_result res = parallel_for(
+      rt, 0, n, policy::dynamic_shared,
+      [&](std::int64_t lo, std::int64_t hi) {
+        executed.fetch_add(hi - lo, std::memory_order_relaxed);
+        if (executed.load(std::memory_order_relaxed) >= 100) {
+          src.request_cancel();
+        }
+      },
+      opt);
+  EXPECT_EQ(res.status, loop_status::cancelled);
+  EXPECT_LT(executed.load(), n);
+  EXPECT_GE(executed.load(), 100);
+  // Exactly-once accounting still holds: every iteration either ran or
+  // was counted as skipped.
+  EXPECT_EQ(executed.load() + res.skipped, n);
+}
+
+TEST(Hardening, CancelTokenAndSourceSemantics) {
+  cancel_token unlinked;
+  EXPECT_FALSE(unlinked.linked());
+  EXPECT_FALSE(unlinked.cancelled());
+
+  cancel_source src;
+  cancel_token tok = src.token();
+  EXPECT_TRUE(tok.linked());
+  EXPECT_FALSE(tok.cancelled());
+  src.request_cancel();
+  EXPECT_TRUE(tok.cancelled());
+  EXPECT_TRUE(src.cancel_requested());
+  src.reset();
+  EXPECT_FALSE(tok.cancelled());
+}
+
+TEST(Hardening, DeadlineExpiresMidLoop) {
+  rt::runtime rt(1);
+  const std::int64_t n = 64;
+  loop_options opt;
+  opt.chunk = 1;
+  opt.deadline = std::chrono::milliseconds(10);
+  std::atomic<std::int64_t> executed{0};
+  const loop_result res = parallel_for(
+      rt, 0, n, policy::dynamic_shared,
+      [&](std::int64_t lo, std::int64_t hi) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        executed.fetch_add(hi - lo, std::memory_order_relaxed);
+      },
+      opt);
+  EXPECT_EQ(res.status, loop_status::deadline_expired);
+  EXPECT_GT(executed.load(), 0);
+  EXPECT_LT(executed.load(), n);
+  EXPECT_EQ(executed.load() + res.skipped, n);
+  EXPECT_GE(rt.tel().totals().deadline_expirations, 1u);
+}
+
+TEST(Hardening, GenerousDeadlineDoesNotTrigger) {
+  rt::runtime rt(2);
+  loop_options opt;
+  opt.deadline = std::chrono::seconds(60);
+  std::atomic<std::int64_t> executed{0};
+  const loop_result res =
+      for_each(rt, 0, 1000, policy::hybrid, [&](std::int64_t) {
+        executed.fetch_add(1, std::memory_order_relaxed);
+      }, opt);
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(executed.load(), 1000);
+  EXPECT_EQ(res.skipped, 0);
+}
+
+// ---- argument validation ---------------------------------------------
+
+TEST(Hardening, InvalidLoopOptionsThrow) {
+  rt::runtime rt(2);
+  const auto body = [](std::int64_t, std::int64_t) {};
+  {
+    loop_options opt;
+    opt.grain = -1;
+    EXPECT_THROW(parallel_for(rt, 0, 10, policy::hybrid, body, opt),
+                 std::invalid_argument);
+  }
+  {
+    loop_options opt;
+    opt.chunk = -5;
+    EXPECT_THROW(parallel_for(rt, 0, 10, policy::dynamic_shared, body, opt),
+                 std::invalid_argument);
+  }
+  {
+    loop_options opt;
+    opt.min_chunk = 0;
+    EXPECT_THROW(parallel_for(rt, 0, 10, policy::guided, body, opt),
+                 std::invalid_argument);
+  }
+  {
+    // A partition count this large would overflow next_pow2 rounding and
+    // the per-partition flag allocation.
+    loop_options opt;
+    opt.partitions = kMaxLoopPartitions + 1;
+    EXPECT_THROW(parallel_for(rt, 0, 10, policy::hybrid, body, opt),
+                 std::invalid_argument);
+  }
+  // Validation happens before the empty-range early-out, so a bad option
+  // is reported even for an empty loop.
+  {
+    loop_options opt;
+    opt.grain = -1;
+    EXPECT_THROW(parallel_for(rt, 0, 0, policy::hybrid, body, opt),
+                 std::invalid_argument);
+  }
+}
+
+// ---- foreign-thread degrade ------------------------------------------
+
+TEST(Hardening, ForeignThreadDegradesToSerial) {
+  rt::runtime rt(2);
+  std::atomic<std::int64_t> executed{0};
+  loop_result res;
+  std::thread outsider([&] {
+    res = for_each(rt, 0, 1000, policy::hybrid, [&](std::int64_t) {
+      executed.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  outsider.join();
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(executed.load(), 1000);
+}
+
+TEST(Hardening, ForeignThreadHonorsCancelAndExceptions) {
+  rt::runtime rt(2);
+  {
+    cancel_source src;
+    src.request_cancel();
+    loop_options opt;
+    opt.cancel = src.token();
+    loop_result res;
+    std::atomic<std::int64_t> executed{0};
+    std::thread outsider([&] {
+      res = parallel_for(rt, 0, 500, policy::dynamic_shared,
+                         [&](std::int64_t lo, std::int64_t hi) {
+                           executed.fetch_add(hi - lo);
+                         },
+                         opt);
+    });
+    outsider.join();
+    EXPECT_EQ(res.status, loop_status::cancelled);
+    EXPECT_EQ(executed.load(), 0);
+    EXPECT_EQ(res.skipped, 500);
+  }
+  {
+    bool caught = false;
+    std::thread outsider([&] {
+      try {
+        parallel_for(rt, 0, 500, policy::hybrid,
+                     [](std::int64_t, std::int64_t) {
+                       throw std::runtime_error("foreign boom");
+                     });
+      } catch (const std::runtime_error&) {
+        caught = true;
+      }
+    });
+    outsider.join();
+    EXPECT_TRUE(caught);
+  }
+}
+
+TEST(Hardening, ForeignThreadReduceUsesLaneZero) {
+  rt::runtime rt(2);
+  std::int64_t sum = 0;
+  std::thread outsider([&] {
+    sum = parallel_sum<std::int64_t>(rt, 1, 101, policy::hybrid,
+                                     [](std::int64_t i) { return i; });
+  });
+  outsider.join();
+  EXPECT_EQ(sum, 5050);
+}
+
+// ---- orphan exception backstop ---------------------------------------
+
+class throwing_task final : public rt::task {
+ public:
+  explicit throwing_task(std::atomic<bool>& ran) : ran_(ran) {}
+  void execute(rt::worker&) override {
+    ran_.store(true, std::memory_order_release);
+    throw std::domain_error("raw task failure");
+  }
+
+ private:
+  std::atomic<bool>& ran_;
+};
+
+TEST(Hardening, RawTaskExceptionIsParkedNotFatal) {
+  rt::runtime rt(1);
+  rt::worker& w = rt.current_worker();
+  std::atomic<bool> ran{false};
+  w.push(new throwing_task(ran));
+  w.work_until([&] { return ran.load(std::memory_order_acquire); });
+  std::exception_ptr e = rt.take_orphan_exception();
+  ASSERT_NE(e, nullptr);
+  EXPECT_THROW(std::rethrow_exception(e), std::domain_error);
+  // The slot is consumed: a second take comes back empty.
+  EXPECT_EQ(rt.take_orphan_exception(), nullptr);
+  EXPECT_GE(rt.tel().totals().exceptions_caught, 1u);
+}
+
+}  // namespace
+}  // namespace hls

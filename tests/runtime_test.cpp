@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <memory>
+#include <stdexcept>
 
 #include "runtime/task.h"
 #include "util/rng.h"
@@ -42,9 +43,12 @@ TEST(Runtime, ConstructsAndDestructsAcrossWorkerCounts) {
   }
 }
 
-TEST(Runtime, ZeroWorkersClampedToOne) {
-  runtime rt(0);
-  EXPECT_EQ(rt.num_workers(), 1u);
+TEST(Runtime, InvalidWorkerCountsThrow) {
+  EXPECT_THROW(runtime rt(0), std::invalid_argument);
+  // A negative --workers cast to unsigned lands far above kMaxWorkers.
+  EXPECT_THROW(runtime rt(static_cast<std::uint32_t>(-3)),
+               std::invalid_argument);
+  EXPECT_THROW(runtime rt(runtime::kMaxWorkers + 1), std::invalid_argument);
 }
 
 TEST(Runtime, CallerThreadIsWorkerZero) {
