@@ -8,6 +8,18 @@
 // under the C++ memory model (Le et al., PPoPP'13). Under TSAN we upgrade
 // the per-operation orderings so the tool can see the happens-before edges;
 // performance under a sanitizer is irrelevant.
+//
+// Ordering table (release/acquire pairs that hold in both builds):
+//   grow(): ring_.store(release)   <->  steal()/steal_batch():
+//                                       ring_.load(acquire)
+//     a thief that observes a bottom_ past the old capacity also observes
+//     the ring that holds those slots (acquire, not the deprecated
+//     memory_order_consume: consume promotion is compiler-dependent).
+//   push(): release fence + bottom_ <->  steal(): seq_cst fence + bottom_
+//     publication of the slot contents to thieves.
+//   top_ CAS (seq_cst)             <->  top_ CAS (seq_cst)
+//     the single synchronizing race: thief vs thief vs owner for elements
+//     near the top (see pop()'s near-empty path and steal_batch()).
 #if defined(__SANITIZE_THREAD__)
 #define HLS_TSAN 1
 #elif defined(__has_feature)
@@ -92,7 +104,12 @@ task* ws_deque::steal() {
   const std::int64_t b = bottom_.load(std::memory_order_acquire);
   if (tp >= b) return nullptr;
 
-  ring* r = ring_.load(std::memory_order_consume);
+  // Acquire pairs with the release store in grow(): a thief that observes
+  // the new bottom_ must also observe the ring holding those slots. (This
+  // was memory_order_consume, deprecated since C++17 and promoted to
+  // acquire inconsistently across compilers — the pairing is now explicit;
+  // see the ordering table at the top of this file.)
+  ring* r = ring_.load(std::memory_order_acquire);
   task* t = r->get(tp, kSlotLoad);
   if (!top_.compare_exchange_strong(tp, tp + 1, std::memory_order_seq_cst,
                                     std::memory_order_relaxed)) {

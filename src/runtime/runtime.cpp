@@ -102,13 +102,33 @@ void runtime::notify_work() noexcept {
   }
 }
 
-void runtime::idle_sleep() {
+bool runtime::work_visible(std::uint32_t self) const noexcept {
+  if (board_.any_open()) return true;
+  for (std::uint32_t i = 0; i < workers_.size(); ++i) {
+    // The caller's own deque is included: a chaos-skipped pop leaves a
+    // task queued locally, and sleeping over it would be a lost wakeup.
+    if (workers_[i]->deque().size_estimate() > 0) return true;
+  }
+  (void)self;
+  return false;
+}
+
+bool runtime::idle_sleep() {
   std::unique_lock<std::mutex> lk(sleep_mu_);
-  sleepers_.fetch_add(1, std::memory_order_acq_rel);
-  if (!stopping()) {
+  sleepers_.fetch_add(1, std::memory_order_seq_cst);
+  // Check-then-sleep: a notify_work() that ran before the registration
+  // above saw sleepers_ == 0 and skipped its notify. Its work publication
+  // is ordered before that skipped notify, so re-checking here (after the
+  // registration) either finds the work or guarantees a later notify sees
+  // us registered — closing the lost-wakeup window between the last failed
+  // steal probe and the wait below.
+  bool waited = false;
+  if (!stopping() && !work_visible(0)) {
     sleep_cv_.wait_for(lk, std::chrono::microseconds(200));
+    waited = true;
   }
   sleepers_.fetch_sub(1, std::memory_order_acq_rel);
+  return waited;
 }
 
 void runtime::worker_main(std::uint32_t id) {

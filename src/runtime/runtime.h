@@ -63,8 +63,17 @@ class runtime {
   void notify_work() noexcept;
 
   // Timed sleep for an idle worker; returns on notify_work, timeout, or
-  // shutdown.
-  void idle_sleep();
+  // shutdown. Registers as a sleeper first and re-checks for visible work
+  // before committing to the wait (check-then-sleep), so a notify_work()
+  // racing with the idle transition is never lost. Returns true only when
+  // the call actually waited — an immediate return (work visible, or the
+  // runtime is stopping) must not be accounted as an idle sleep.
+  bool idle_sleep();
+
+  // True when any deque holds a task or the board has an open loop. Racy
+  // by nature (size estimates); used by the idle path's check-then-sleep
+  // re-check, never for correctness of work distribution itself.
+  bool work_visible(std::uint32_t self) const noexcept;
 
   bool stopping() const noexcept {
     return stop_.load(std::memory_order_acquire);

@@ -126,9 +126,13 @@ void worker::pause(int idle_count) {
   } else if (idle_count < 16) {
     std::this_thread::yield();
   } else {
-    telemetry::bump(tel_.counters.idle_sleeps);
     const std::uint64_t t0 = tel_.now();
-    rt_.idle_sleep();
+    // Count only sleeps that actually waited: idle_sleep returns false
+    // when it bails out immediately (work became visible during the
+    // check-then-sleep re-check, or the runtime is stopping), and those
+    // must not inflate the sleep counter or emit zero-length idle spans.
+    if (!rt_.idle_sleep()) return;
+    telemetry::bump(tel_.counters.idle_sleeps);
     const std::uint64_t dt = tel_.now() - t0;
     telemetry::bump(tel_.counters.idle_sleep_ns, dt);
     if (tel_.events_on()) {

@@ -176,6 +176,51 @@ TEST(Runtime, WorkerRngSeedsAreIndependent) {
   EXPECT_NE(a, c);
 }
 
+// Regression (lost wakeup): a notify_work() that lands between a worker's
+// last failed steal probe and its sleeper registration used to be dropped,
+// leaving the worker to ride out the full timed wait with work pending.
+// idle_sleep now re-checks for visible work after registering; with a task
+// already queued it must bail out immediately instead of waiting.
+TEST(Runtime, IdleSleepBailsOutWhenWorkIsVisible) {
+  runtime rt(1);
+  worker& w = rt.current_worker();
+  std::atomic<int> count{0};
+  w.push(new counting_task(count));
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool waited = rt.idle_sleep();
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  EXPECT_FALSE(waited);
+  // Far below the timed-wait interval: the re-check fired, not the timeout.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::microseconds>(dt).count(),
+            150);
+  EXPECT_TRUE(rt.work_visible(0));
+  w.work_until([&] { return count.load() == 1; });
+}
+
+TEST(Runtime, IdleSleepBailsOutWhenBoardIsOpen) {
+  runtime rt(1);
+  struct never_done : loop_record {
+    bool participate(worker&) override { return false; }
+    bool finished() const noexcept override { return false; }
+  };
+  auto rec = std::make_shared<never_done>();
+  const int slot = rt.loop_board().post(rec);
+  ASSERT_GE(slot, 0);
+  EXPECT_TRUE(rt.work_visible(0));
+  EXPECT_FALSE(rt.idle_sleep());
+  rt.loop_board().clear(slot);
+}
+
+// Regression (phantom sleep accounting): only sleeps that actually waited
+// may be counted, so idle_sleep's return value distinguishes a real wait
+// from an immediate bailout. With nothing to do the call must wait (and
+// report it); the caller accounts idle_sleeps off that flag.
+TEST(Runtime, IdleSleepReportsRealWaits) {
+  runtime rt(1);
+  EXPECT_FALSE(rt.work_visible(0));
+  EXPECT_TRUE(rt.idle_sleep());
+}
+
 TEST(Runtime, SequentialRuntimesDoNotInterfere) {
   for (int i = 0; i < 5; ++i) {
     runtime rt(3);
