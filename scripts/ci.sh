@@ -13,6 +13,18 @@ for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] && "$b"
 done
 
+# Bench smoke: the runtime-primitive microbenches (wake latency, batched
+# steal throughput, deque/claim ops) must run in --json mode and produce a
+# single valid JSON document, archived for cross-run comparison.
+build/bench/rt_primitives --json > build/BENCH_rt_primitives.json
+python3 -m json.tool build/BENCH_rt_primitives.json > /dev/null
+python3 - <<'EOF'
+import json
+names = [b["name"] for b in json.load(open("build/BENCH_rt_primitives.json"))["benchmarks"]]
+assert any("BM_WakeLatency" in n for n in names), names
+assert any("BM_BatchSteal" in n for n in names), names
+EOF
+
 # Telemetry end-to-end: a traced run must produce valid Chrome trace JSON
 # and a parsable JSON-lines report.
 build/bench/rt_telemetry --telemetry --telemetry-format=json --json \
@@ -36,11 +48,11 @@ build/examples/quickstart --chaos=20260807 > /dev/null
 
 cmake -B build-tsan -G Ninja -DHLS_SANITIZE=thread
 cmake --build build-tsan
-for t in deque_test runtime_test parallel_for_test hybrid_loop_test \
-         task_pool_test task_group_test stress_test reduce_test \
-         sched_features_test micro_workload_test telemetry_test \
-         telemetry_runtime_test faultsim_test hardening_test \
-         chaos_sched_test; do
+for t in deque_test runtime_test parking_test parallel_for_test \
+         hybrid_loop_test task_pool_test task_group_test stress_test \
+         reduce_test sched_features_test micro_workload_test \
+         telemetry_test telemetry_runtime_test faultsim_test \
+         hardening_test chaos_sched_test; do
   echo "== TSAN $t"
   "build-tsan/tests/$t" --gtest_brief=1
 done

@@ -6,12 +6,15 @@
 
 namespace hls::rt {
 
-int board::post(std::shared_ptr<loop_record> rec) {
+int board::post(std::shared_ptr<loop_record> rec, std::uint32_t poster) {
   std::lock_guard<std::mutex> lk(mu_);
   for (int s = 0; s < kSlots; ++s) {
     if (slots_[s].keeper == nullptr) {
       slots_[s].keeper = std::move(rec);
       slots_[s].ptr.store(slots_[s].keeper.get());
+      if (poster != kNoPoster) {
+        poster_.store(poster, std::memory_order_relaxed);
+      }
       return s;
     }
   }
@@ -28,6 +31,16 @@ void board::clear(int s) {
   }
   std::lock_guard<std::mutex> lk(mu_);
   slots_[s].keeper.reset();
+  // Drop the affinity hint once the board drains, so thieves stop paying a
+  // probe for a loop that no longer exists.
+  bool open = false;
+  for (int i = 0; i < kSlots; ++i) {
+    if (slots_[i].keeper != nullptr) {
+      open = true;
+      break;
+    }
+  }
+  if (!open) poster_.store(kNoPoster, std::memory_order_relaxed);
 }
 
 bool board::visit(worker& w) {

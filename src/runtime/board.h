@@ -19,6 +19,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 
@@ -50,12 +51,16 @@ class board {
   board(const board&) = delete;
   board& operator=(const board&) = delete;
 
+  // "No poster" value for poster_hint().
+  static constexpr std::uint32_t kNoPoster = 0xffffffffu;
+
   // Publishes a loop; returns the slot to pass to clear(), or -1 when all
   // slots are occupied (deep help-first nesting). An unposted loop is still
   // correct: the posting worker completes it single-handedly and thieves
   // can reach its divide-and-conquer subtasks through ordinary deque
-  // steals; only board-mediated arrival is lost.
-  int post(std::shared_ptr<loop_record> rec);
+  // steals; only board-mediated arrival is lost. `poster` (a worker id)
+  // records who posted, feeding the thieves' victim-affinity heuristic.
+  int post(std::shared_ptr<loop_record> rec, std::uint32_t poster = kNoPoster);
 
   // Unpublishes the slot and blocks until in-flight visitors leave it.
   // Must only be called after the loop has finished (visitors of a
@@ -67,6 +72,15 @@ class board {
   bool visit(worker& w);
 
   bool any_open() const noexcept;
+
+  // The worker id of the most recent post, or kNoPoster once the board
+  // drains. A thief probes this worker right after its last successful
+  // victim: the poster's deque holds the open loop's divide-and-conquer
+  // subtasks, so it is the best-informed guess on the whole machine. Racy
+  // and advisory — a stale hint costs one extra probe, nothing more.
+  std::uint32_t poster_hint() const noexcept {
+    return poster_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct slot {
@@ -80,6 +94,7 @@ class board {
 
   std::mutex mu_;  // post/clear bookkeeping only
   slot slots_[kSlots];
+  std::atomic<std::uint32_t> poster_{kNoPoster};
 };
 
 }  // namespace hls::rt

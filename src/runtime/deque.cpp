@@ -1,5 +1,7 @@
 #include "runtime/deque.h"
 
+#include <algorithm>
+
 #include "util/bits.h"
 
 // ThreadSanitizer does not model std::atomic_thread_fence, so the
@@ -73,6 +75,15 @@ void ws_deque::push(task* t) {
   bottom_.store(b + 1, kBottomPublish);
 }
 
+namespace {
+// While the owner holds the "top lock" (pop()'s near-empty path), top_
+// reads as tp + kTopLock — far above any bottom_ — so every concurrent
+// steal/steal_batch sees an apparently empty deque and reports a failed
+// probe, and their claim CASes (expecting the unlocked value) fail. Only
+// the owner ever sets the lock, so pop() itself can never observe it.
+constexpr std::int64_t kTopLock = std::int64_t{1} << 62;
+}  // namespace
+
 task* ws_deque::pop() {
   const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
   ring* r = ring_.load(std::memory_order_relaxed);
@@ -86,16 +97,40 @@ task* ws_deque::pop() {
     return nullptr;
   }
 
-  task* t = r->get(b, kSlotLoad);
-  if (tp == b) {
-    // Single element: race against thieves for it.
-    if (!top_.compare_exchange_strong(tp, tp + 1, std::memory_order_seq_cst,
-                                      std::memory_order_relaxed)) {
-      t = nullptr;  // a thief won
-    }
-    bottom_.store(b + 1, std::memory_order_relaxed);
+  if (b - tp >= kStealBatchMax) {
+    // Deep deque: a batch thief claims at most kStealBatchMax slots
+    // starting at a top it read at or after tp, so its claim end can never
+    // reach slot b — the bottom take is uncontended, exactly like the
+    // classic Chase-Lev non-last-element pop.
+    return r->get(b, kSlotLoad);
   }
-  return t;
+
+  // Near-empty: a batch claim could cover slot b, so the classic
+  // "CAS only for the last element" rule is not enough. Briefly lock the
+  // top instead: while locked no thief can start or complete a claim, the
+  // owner takes the bottom slot (preserving LIFO order), then restores
+  // top_. Lock-free for the system: the loop only retries when a thief's
+  // CAS advanced top_, which is global progress.
+  while (true) {
+    if (top_.compare_exchange_strong(tp, tp + kTopLock,
+                                     std::memory_order_seq_cst,
+                                     std::memory_order_relaxed)) {
+      task* t = r->get(b, kSlotLoad);
+      if (tp == b) {
+        // Took the last element; leave the deque empty and unlocked.
+        top_.store(tp + 1, std::memory_order_release);
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      } else {
+        top_.store(tp, std::memory_order_release);  // unlock
+      }
+      return t;
+    }
+    // CAS failure reloaded tp: thieves advanced the top.
+    if (tp > b) {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+  }
 }
 
 task* ws_deque::steal() {
@@ -116,6 +151,44 @@ task* ws_deque::steal() {
     return nullptr;  // lost the race
   }
   return t;
+}
+
+task* ws_deque::steal_batch(ws_deque& into, std::uint32_t* transferred) {
+  *transferred = 0;
+  std::int64_t tp = top_.load(std::memory_order_acquire);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const std::int64_t b = bottom_.load(std::memory_order_acquire);
+  // tp >= b also covers an owner-locked top (tp + kTopLock is far above
+  // any bottom): the probe just reports empty.
+  if (tp >= b) return nullptr;
+
+  // Up to half the visible tasks, capped at kStealBatchMax. The claim
+  // range [tp, tp + want) stays strictly below the bottom_ we read, and
+  // the owner's uncontended pops only touch slots at least kStealBatchMax
+  // above the top_ it read — with the CAS below as the ordering point,
+  // the two can never overlap (see pop()).
+  const std::int64_t avail = b - tp;
+  const std::int64_t want = std::min<std::int64_t>(kStealBatchMax,
+                                                   (avail + 1) / 2);
+  ring* r = ring_.load(std::memory_order_acquire);
+  task* buf[kStealBatchMax];
+  // Read before claiming: a successful CAS proves top_ was untouched, so
+  // these slots were still live when read (grow() copies but never mutates
+  // the old ring, and the owner cannot wrap within one capacity). A failed
+  // CAS discards them.
+  for (std::int64_t i = 0; i < want; ++i) {
+    buf[i] = r->get(tp + i, kSlotLoad);
+  }
+  if (!top_.compare_exchange_strong(tp, tp + want, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed)) {
+    return nullptr;  // lost the race (thief, batch thief, or owner lock)
+  }
+  // Oldest task goes to the caller; the surplus seeds the thief's own
+  // deque in victim order, so its subsequent pops run them newest-first —
+  // the same order a chain of single steals would have left behind.
+  for (std::int64_t i = 1; i < want; ++i) into.push(buf[i]);
+  *transferred = static_cast<std::uint32_t>(want);
+  return buf[0];
 }
 
 std::int64_t ws_deque::size_estimate() const noexcept {

@@ -20,6 +20,13 @@ class task;
 
 class ws_deque {
  public:
+  // Upper bound on tasks transferred by one steal_batch. Also the width of
+  // the owner's "contended" window: pop() takes the bottom slot without a
+  // CAS only while more than kStealBatchMax elements remain, since a batch
+  // thief can claim at most kStealBatchMax slots from the top in one CAS
+  // (see pop()/steal_batch() for the disjointness argument).
+  static constexpr std::int64_t kStealBatchMax = 8;
+
   explicit ws_deque(std::size_t initial_capacity = 1u << 10);
   ~ws_deque();
 
@@ -35,6 +42,14 @@ class ws_deque {
   // Any thread. Returns nullptr when empty or when the steal races and
   // loses (the caller treats both as a failed steal attempt).
   task* steal();
+
+  // Thief only; `into` must be the calling thread's OWN deque (extra tasks
+  // are pushed onto it under the owner contract). Claims up to half of the
+  // visible tasks — capped at kStealBatchMax — with a single top_ CAS;
+  // returns the oldest claimed task for immediate execution and deposits
+  // the remaining `*transferred - 1` into `into` in victim (FIFO) order.
+  // Returns nullptr (with *transferred == 0) when empty or the CAS loses.
+  task* steal_batch(ws_deque& into, std::uint32_t* transferred);
 
   // Racy size estimate; used only for victim-selection heuristics.
   std::int64_t size_estimate() const noexcept;

@@ -1,0 +1,120 @@
+#include "runtime/parking.h"
+
+namespace hls::rt {
+
+parking_lot::parking_lot(std::uint32_t num_slots)
+    : n_(num_slots == 0 ? 1 : num_slots), slots_(new slot[n_]) {}
+
+std::uint32_t parking_lot::prepare_park(std::uint32_t w) noexcept {
+  slot& s = slots_[w];
+  const std::uint32_t ticket = s.epoch.load(std::memory_order_relaxed);
+  s.state.store(kPending, std::memory_order_relaxed);
+  waiters_.fetch_add(1, std::memory_order_relaxed);
+  // Dekker, waiter side: the waiter announcement above must be ordered
+  // before the caller's work re-check. Pairs with the seq_cst fence in
+  // unpark_one/unpark_all (work publication before the waiter scan).
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  return ticket;
+}
+
+void parking_lot::cancel_park(std::uint32_t w) noexcept {
+  slots_[w].state.store(kActive, std::memory_order_relaxed);
+  waiters_.fetch_sub(1, std::memory_order_release);
+}
+
+parking_lot::park_result parking_lot::park(std::uint32_t w,
+                                           std::uint32_t ticket,
+                                           std::chrono::nanoseconds backstop) {
+  slot& s = slots_[w];
+  park_result res;
+  std::unique_lock<std::mutex> lk(s.mu);
+  if (stop_.load(std::memory_order_acquire)) {
+    res.reason = wake_reason::stop;
+  } else if (s.epoch.load(std::memory_order_relaxed) != ticket) {
+    // A wake landed between prepare_park and here; consume it without
+    // blocking. The caller re-checks for work either way.
+    res.reason = wake_reason::notified;
+  } else {
+    s.state.store(kParked, std::memory_order_relaxed);
+    s.cv.wait_for(lk, backstop, [&] {
+      return s.epoch.load(std::memory_order_relaxed) != ticket ||
+             stop_.load(std::memory_order_relaxed);
+    });
+    res.waited = true;
+    if (stop_.load(std::memory_order_relaxed)) {
+      res.reason = wake_reason::stop;
+    } else if (s.epoch.load(std::memory_order_relaxed) != ticket) {
+      res.reason = wake_reason::notified;
+    } else {
+      res.reason = wake_reason::timeout;
+    }
+  }
+  s.state.store(kActive, std::memory_order_relaxed);
+  lk.unlock();
+  waiters_.fetch_sub(1, std::memory_order_release);
+  return res;
+}
+
+bool parking_lot::unpark_one() noexcept {
+  // Dekker, notifier side: the caller's work publication (deque bottom_
+  // store, board ptr store — possibly relaxed) must be ordered before the
+  // waiter scan below. Pairs with the fence in prepare_park.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (waiters_.load(std::memory_order_relaxed) == 0) return false;
+  // Round-robin start so repeated single wakes fan out over workers
+  // instead of hammering slot 0.
+  const std::uint32_t start = rotor_.fetch_add(1, std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    slot& s = slots_[(start + i) % n_];
+    if (s.state.load(std::memory_order_acquire) == kActive) continue;
+    bool signalled = false;
+    {
+      std::lock_guard<std::mutex> lg(s.mu);
+      // Re-check under the lock: the worker may have cancelled or finished
+      // parking since the scan. Bumping the epoch of an active slot would
+      // be harmless (prepare_park reads a fresh ticket) but would waste
+      // this wake; skip and keep scanning instead.
+      if (s.state.load(std::memory_order_relaxed) != kActive) {
+        s.epoch.fetch_add(1, std::memory_order_relaxed);
+        signalled = true;
+      }
+    }
+    if (signalled) {
+      s.cv.notify_one();
+      return true;
+    }
+  }
+  return false;
+}
+
+void parking_lot::unpark_all() noexcept {
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (waiters_.load(std::memory_order_relaxed) == 0) return;
+  for (std::uint32_t w = 0; w < n_; ++w) {
+    slot& s = slots_[w];
+    if (s.state.load(std::memory_order_acquire) == kActive) continue;
+    bool signalled = false;
+    {
+      std::lock_guard<std::mutex> lg(s.mu);
+      if (s.state.load(std::memory_order_relaxed) != kActive) {
+        s.epoch.fetch_add(1, std::memory_order_relaxed);
+        signalled = true;
+      }
+    }
+    if (signalled) s.cv.notify_one();
+  }
+}
+
+void parking_lot::request_stop() noexcept {
+  stop_.store(true, std::memory_order_seq_cst);
+  for (std::uint32_t w = 0; w < n_; ++w) {
+    slot& s = slots_[w];
+    // Lock/unlock closes the race with a waiter between its predicate
+    // check and the wait; notify outside the lock avoids a pointless
+    // wake-then-block on the mutex.
+    { std::lock_guard<std::mutex> lg(s.mu); }
+    s.cv.notify_all();
+  }
+}
+
+}  // namespace hls::rt

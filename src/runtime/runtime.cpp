@@ -37,7 +37,7 @@ std::uint32_t checked_worker_count(std::uint32_t num_workers) {
 }  // namespace
 
 runtime::runtime(std::uint32_t num_workers, std::uint64_t seed)
-    : tel_(checked_worker_count(num_workers)) {
+    : tel_(checked_worker_count(num_workers)), parking_(tel_.num_workers()) {
   std::uint64_t sm = seed;
   workers_.reserve(num_workers);
   for (std::uint32_t i = 0; i < num_workers; ++i) {
@@ -56,7 +56,7 @@ runtime::runtime(std::uint32_t num_workers, std::uint64_t seed)
 
 runtime::~runtime() {
   stop_.store(true, std::memory_order_release);
-  notify_work();
+  parking_.request_stop();
   for (auto& t : threads_) t.join();
   if (tls_worker == workers_[0].get()) tls_worker = nullptr;
 }
@@ -94,12 +94,22 @@ void runtime::capture_orphan(std::exception_ptr e) noexcept {
 }
 
 void runtime::notify_work() noexcept {
-  if (sleepers_.load(std::memory_order_acquire) > 0) {
-    // The lock pairs with the sleeper's check-then-wait so a wakeup between
-    // its check and wait() is not lost.
-    std::lock_guard<std::mutex> lk(sleep_mu_);
-    sleep_cv_.notify_all();
+  // unpark_one's seq_cst fence orders the caller's work publication (deque
+  // bottom_ / board ptr stores) before the waiter scan, pairing with
+  // prepare_park's fence in idle_park. Waking exactly one worker avoids
+  // the old notify_all thundering herd; each further unit of work sends
+  // its own wake (push, post, batch-steal deposit), so wakeups escalate
+  // exactly when work outpaces them.
+  if (parking_.unpark_one()) {
+    worker* w = tls_worker;
+    if (w != nullptr && &w->rt() == this) {
+      telemetry::bump(w->tel().counters.wakes_sent);
+    }
   }
+}
+
+void runtime::notify_all() noexcept {
+  parking_.unpark_all();
 }
 
 bool runtime::work_visible(std::uint32_t self) const noexcept {
@@ -113,22 +123,21 @@ bool runtime::work_visible(std::uint32_t self) const noexcept {
   return false;
 }
 
-bool runtime::idle_sleep() {
-  std::unique_lock<std::mutex> lk(sleep_mu_);
-  sleepers_.fetch_add(1, std::memory_order_seq_cst);
-  // Check-then-sleep: a notify_work() that ran before the registration
-  // above saw sleepers_ == 0 and skipped its notify. Its work publication
-  // is ordered before that skipped notify, so re-checking here (after the
-  // registration) either finds the work or guarantees a later notify sees
-  // us registered — closing the lost-wakeup window between the last failed
-  // steal probe and the wait below.
-  bool waited = false;
-  if (!stopping() && !work_visible(0)) {
-    sleep_cv_.wait_for(lk, std::chrono::microseconds(200));
-    waited = true;
+runtime::park_outcome runtime::idle_park(worker& w) {
+  if (stopping()) return {false, parking_lot::wake_reason::stop};
+  const std::uint32_t ticket = parking_.prepare_park(w.id());
+  // Check-then-park (the lost-wakeup fix): the waiter announcement above
+  // is seq_cst-ordered before this re-check, and notify_work's waiter
+  // scan is seq_cst-ordered after its work publication — so a racing
+  // notify either sees us announced (and bumps our epoch, making park()
+  // return immediately) or we see its work here and cancel.
+  if (stopping() || work_visible(w.id())) {
+    parking_.cancel_park(w.id());
+    return {false, parking_lot::wake_reason::notified};
   }
-  sleepers_.fetch_sub(1, std::memory_order_acq_rel);
-  return waited;
+  const parking_lot::park_result res =
+      parking_.park(w.id(), ticket, kParkBackstop);
+  return {res.waited, res.reason};
 }
 
 void runtime::worker_main(std::uint32_t id) {

@@ -7,7 +7,7 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <memory>
@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "runtime/board.h"
+#include "runtime/parking.h"
 #include "runtime/worker.h"
 #include "telemetry/registry.h"
 
@@ -59,21 +60,49 @@ class runtime {
   // is a usage error and aborts.
   worker& current_worker();
 
-  // Wakes sleeping workers; called after pushes and board posts.
+  // Backstop for idle parks. Not a poll interval: every work-publication
+  // path issues a targeted wake, so in normal operation parked workers are
+  // woken explicitly and this timeout never fires. It exists so an edge
+  // with no tracked wake (or a future bug) degrades to bounded latency —
+  // matching the old poll interval — instead of a hang.
+  static constexpr std::chrono::microseconds kParkBackstop{200};
+
+  // Wakes exactly one parked worker (the new-work edge: pushes, board
+  // posts, batch-steal surpluses). Escalation to more workers happens by
+  // chaining — each unit of published work sends one wake, and a thief
+  // that deposits surplus tasks sends another — not by waking the herd.
   void notify_work() noexcept;
 
-  // Timed sleep for an idle worker; returns on notify_work, timeout, or
-  // shutdown. Registers as a sleeper first and re-checks for visible work
-  // before committing to the wait (check-then-sleep), so a notify_work()
-  // racing with the idle transition is never lost. Returns true only when
-  // the call actually waited — an immediate return (work visible, or the
-  // runtime is stopping) must not be accounted as an idle sleep.
-  bool idle_sleep();
+  // Wakes every parked worker. Called on completion edges (a loop's last
+  // chunk retiring, a task_group draining) where the specific waiter that
+  // cares — a worker blocked in work_until on that predicate — cannot be
+  // identified, and on shutdown.
+  void notify_all() noexcept;
+
+  // Outcome of one idle_park call.
+  struct park_outcome {
+    bool blocked = false;  // the worker actually parked (count it)
+    parking_lot::wake_reason reason = parking_lot::wake_reason::notified;
+  };
+
+  // Parks worker w until new work is signalled. Encodes the
+  // check-then-park protocol: announce the waiter (parking_lot::
+  // prepare_park), re-check for visible work, then either cancel or
+  // commit to the park. A notify_work() racing with the idle transition
+  // is never lost: it either observes the announced waiter or its work is
+  // seen by the re-check. Returns blocked == false when the park was
+  // cancelled (work visible, or stopping) — such calls must not be
+  // accounted as idle sleeps.
+  park_outcome idle_park(worker& w);
 
   // True when any deque holds a task or the board has an open loop. Racy
-  // by nature (size estimates); used by the idle path's check-then-sleep
-  // re-check, never for correctness of work distribution itself.
+  // by nature (size estimates); used by the idle path's check-then-park
+  // re-check and the spurious-wake accounting, never for correctness of
+  // work distribution itself.
   bool work_visible(std::uint32_t self) const noexcept;
+
+  // The parking subsystem (exposed for tests and diagnostics).
+  parking_lot& parking() noexcept { return parking_; }
 
   bool stopping() const noexcept {
     return stop_.load(std::memory_order_acquire);
@@ -115,14 +144,11 @@ class runtime {
   void capture_orphan(std::exception_ptr e) noexcept;
 
   telemetry::registry tel_;  // before workers_: workers reference slots
+  parking_lot parking_;
   std::vector<std::unique_ptr<worker>> workers_;
   std::vector<std::thread> threads_;
   board board_;
   std::atomic<bool> stop_{false};
-
-  std::mutex sleep_mu_;
-  std::condition_variable sleep_cv_;
-  std::atomic<std::uint32_t> sleepers_{0};
 
   // Chaos injector: raw pointer for the hot-path load; keepers (current +
   // retired) pin every injector installed during this runtime's life so a

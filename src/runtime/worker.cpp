@@ -77,31 +77,57 @@ bool worker::try_steal_round() {
   if (chaos != nullptr) chaos->maybe_delay(id_);
   const std::uint64_t t0 = tel_.now();
   std::uint64_t probes = 0;
-  // One round: up to P random victim probes (standard randomized stealing;
-  // the round bound keeps the idle loop responsive to board posts).
-  for (std::uint32_t attempt = 0; attempt < p; ++attempt) {
-    const auto victim =
-        static_cast<std::uint32_t>(rng_.next_below(p - 1));
-    const std::uint32_t v = victim >= id_ ? victim + 1 : victim;
+
+  // Probes one victim; on success a batch (up to half the victim's visible
+  // tasks) lands in the local deque and the oldest stolen task runs.
+  const auto probe = [&](std::uint32_t v, bool affinity) -> bool {
     ++probes;
     if (chaos != nullptr && chaos->fire(faultsim::hook::steal_probe, id_)) {
       // Forced empty probe: counts as a miss, the victim keeps its task.
       telemetry::bump(tel_.counters.faults_injected);
-      continue;
+      return false;
     }
-    if (task* t = rt_.worker_at(v).deque().steal()) {
-      telemetry::bump(tel_.counters.steal_probes, probes);
-      telemetry::bump(tel_.counters.steals);
-      telemetry::bump(tel_.counters.steal_latency_ns, tel_.now() - t0);
-      tel_.steal_probe_hist.record(probes);
-      if (tel_.events_on()) {
-        tel_.emit({tel_.now(), 0, static_cast<std::int64_t>(v),
-                   static_cast<std::int64_t>(probes),
-                   telemetry::event_kind::steal});
-      }
-      run(t);
-      return true;
+    std::uint32_t k = 0;
+    task* t = rt_.worker_at(v).deque().steal_batch(deque_, &k);
+    if (t == nullptr) return false;
+    telemetry::bump(tel_.counters.steal_probes, probes);
+    telemetry::bump(tel_.counters.steals);
+    telemetry::bump(tel_.counters.steal_latency_ns, tel_.now() - t0);
+    telemetry::bump(tel_.counters.batch_steal_tasks, k);
+    if (affinity) telemetry::bump(tel_.counters.affinity_hits);
+    tel_.steal_probe_hist.record(probes);
+    if (tel_.events_on()) {
+      tel_.emit({tel_.now(), 0, static_cast<std::int64_t>(v),
+                 static_cast<std::int64_t>(probes),
+                 telemetry::event_kind::steal});
     }
+    last_victim_ = v;
+    // Surplus tasks just landed in this deque; chain a wake so another
+    // idle worker picks them up while this one runs the first.
+    if (k > 1) rt_.notify_work();
+    run(t);
+    return true;
+  };
+
+  // Affinity order: last successful victim first, then the board's poster
+  // hint (the worker whose deque feeds the open loop), then random victims.
+  std::uint32_t tried = kNoVictim;
+  if (last_victim_ != kNoVictim && last_victim_ != id_ && last_victim_ < p) {
+    tried = last_victim_;
+    if (probe(last_victim_, true)) return true;
+    last_victim_ = kNoVictim;  // went dry; forget it
+  }
+  const std::uint32_t hint = rt_.loop_board().poster_hint();
+  if (hint != board::kNoPoster && hint != id_ && hint != tried && hint < p) {
+    if (probe(hint, true)) return true;
+  }
+  // Up to P random victim probes (standard randomized stealing; the round
+  // bound keeps the idle loop responsive to board posts).
+  for (std::uint32_t attempt = 0; attempt < p; ++attempt) {
+    const auto victim =
+        static_cast<std::uint32_t>(rng_.next_below(p - 1));
+    const std::uint32_t v = victim >= id_ ? victim + 1 : victim;
+    if (probe(v, false)) return true;
   }
   telemetry::bump(tel_.counters.steal_probes, probes);
   tel_.steal_probe_hist.record(probes);
@@ -127,14 +153,22 @@ void worker::pause(int idle_count) {
     std::this_thread::yield();
   } else {
     const std::uint64_t t0 = tel_.now();
-    // Count only sleeps that actually waited: idle_sleep returns false
-    // when it bails out immediately (work became visible during the
-    // check-then-sleep re-check, or the runtime is stopping), and those
-    // must not inflate the sleep counter or emit zero-length idle spans.
-    if (!rt_.idle_sleep()) return;
+    // Count only parks that actually blocked: idle_park reports
+    // blocked == false when it bailed out in the check-then-park re-check
+    // (work became visible, or the runtime is stopping), and those must
+    // not inflate the sleep counter or emit zero-length idle spans.
+    const runtime::park_outcome out = rt_.idle_park(*this);
+    if (!out.blocked) return;
     telemetry::bump(tel_.counters.idle_sleeps);
     const std::uint64_t dt = tel_.now() - t0;
     telemetry::bump(tel_.counters.idle_sleep_ns, dt);
+    // A targeted wake that finds no visible work means the work was taken
+    // before this worker arrived (or the wake raced a completion edge);
+    // tracked so wake efficiency is observable.
+    if (out.reason == parking_lot::wake_reason::notified &&
+        !rt_.work_visible(id_)) {
+      telemetry::bump(tel_.counters.wakes_spurious);
+    }
     if (tel_.events_on()) {
       tel_.emit({t0, dt, 0, 0, telemetry::event_kind::idle_span});
     }

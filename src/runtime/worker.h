@@ -81,12 +81,17 @@ class worker {
  private:
   friend class runtime;
 
-  // Progressive backoff: relax -> yield -> timed sleep on the runtime's
-  // idle condition variable.
+  // Progressive backoff: relax -> yield -> park on the runtime's
+  // per-worker parking slot (runtime::idle_park).
   void pause(int idle_count);
 
-  // One round of steal attempts over random victims.
+  // One round of steal attempts: affinity probes first (last successful
+  // victim, then the board's poster hint), then random victims. Successful
+  // probes use batched stealing (ws_deque::steal_batch).
   bool try_steal_round();
+
+  // "No remembered victim" sentinel for last_victim_.
+  static constexpr std::uint32_t kNoVictim = 0xffffffffu;
 
   runtime& rt_;
   std::uint32_t id_;
@@ -94,6 +99,12 @@ class worker {
   xoshiro256ss rng_;
   telemetry::worker_state& tel_;
   block_pool pool_;
+
+  // Victim affinity: the last victim this worker stole from successfully.
+  // Work distribution is bursty — a victim with surplus once likely still
+  // has surplus — so the next round probes it before rolling the dice.
+  // Reset to kNoVictim when the remembered victim comes up empty.
+  std::uint32_t last_victim_ = kNoVictim;
 };
 
 }  // namespace hls::rt

@@ -212,7 +212,7 @@ loop_result parallel_for(rt::runtime& rt, std::int64_t begin, std::int64_t end,
     telemetry::bump(me.tel().counters.faults_injected);
     slot = -1;
   } else {
-    slot = rt.loop_board().post(rec);
+    slot = rt.loop_board().post(rec, me.id());
   }
   rt.notify_work();
   if (slot < 0 && pol == policy::static_part) {

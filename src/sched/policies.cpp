@@ -66,7 +66,15 @@ void loop_ctx::run_chunk(rt::worker& w, std::int64_t lo, std::int64_t hi) {
     tel.emit({t0, dt, lo, hi, telemetry::event_kind::chunk_span});
   }
   // Retire the iterations even on failure/skip so the loop terminates.
-  remaining.fetch_sub(hi - lo, std::memory_order_acq_rel);
+  retire(w, hi - lo);
+}
+
+void loop_ctx::retire(rt::worker& w, std::int64_t n) noexcept {
+  if (remaining.fetch_sub(n, std::memory_order_acq_rel) - n <= 0) {
+    // Completion edge: wake everyone, because the worker that cares (one
+    // parked in work_until on finished()) cannot be identified here.
+    w.rt().notify_all();
+  }
 }
 
 void loop_ctx::rethrow_if_failed() {
@@ -151,8 +159,7 @@ bool shared_queue_record::participate(rt::worker& w) {
       if (lo < ctx_->end) {
         ctx_->skipped.fetch_add(ctx_->end - lo, std::memory_order_relaxed);
         telemetry::bump(w.tel().counters.cancelled_chunks);
-        ctx_->remaining.fetch_sub(ctx_->end - lo,
-                                  std::memory_order_acq_rel);
+        ctx_->retire(w, ctx_->end - lo);
       }
       return worked;
     }
@@ -185,8 +192,7 @@ bool guided_record::participate(rt::worker& w) {
       if (lo < ctx_->end) {
         ctx_->skipped.fetch_add(ctx_->end - lo, std::memory_order_relaxed);
         telemetry::bump(w.tel().counters.cancelled_chunks);
-        ctx_->remaining.fetch_sub(ctx_->end - lo,
-                                  std::memory_order_acq_rel);
+        ctx_->retire(w, ctx_->end - lo);
       }
       return worked;
     }

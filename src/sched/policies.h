@@ -76,6 +76,13 @@ struct loop_ctx {
   // may die, so nothing may touch `body` afterwards.
   void run_chunk(rt::worker& w, std::int64_t lo, std::int64_t hi);
 
+  // Retires n iterations. The call that drops `remaining` to zero wakes
+  // every parked worker: the posting worker may be parked inside
+  // work_until waiting on finished(), and that predicate flip has no other
+  // tracked wake edge — without this broadcast it would only notice at the
+  // park backstop.
+  void retire(rt::worker& w, std::int64_t n) noexcept;
+
  private:
   // Latches `reason` if still running; returns true for the latching call.
   bool latch_stop(std::uint8_t reason) noexcept {

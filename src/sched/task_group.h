@@ -85,7 +85,14 @@ class task_group {
         telemetry::bump(w.tel().counters.exceptions_caught);
         group_->capture_exception(std::current_exception());
       }
-      group_->pending_.fetch_sub(1, std::memory_order_acq_rel);
+      // The group may be destroyed the moment pending_ hits zero (wait()
+      // returns), so group_ must not be touched after the decrement. The
+      // drain is a completion edge with no tracked wake: broadcast so a
+      // worker parked inside wait()'s work_until notices promptly instead
+      // of at the park backstop.
+      if (group_->pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        w.rt().notify_all();
+      }
     }
 
    private:

@@ -31,8 +31,13 @@
   X(claims_ok, "successful hybrid partition claims")                     \
   X(claims_failed, "failed hybrid partition claims")                     \
   X(claim_sequences, "passes through the hybrid claim loop")             \
-  X(idle_sleeps, "timed idle sleeps")                                    \
-  X(idle_sleep_ns, "time spent in timed idle sleep, ns")                 \
+  X(idle_sleeps, "idle parks that actually blocked")                     \
+  X(idle_sleep_ns, "time spent blocked in idle parks, ns")               \
+  X(wakes_sent, "targeted unparks issued by notify_work")                \
+  X(wakes_spurious, "wakes that found no visible work")                  \
+  X(batch_steal_tasks, "tasks transferred by batched steals")            \
+  X(affinity_hits, "steals won on an affinity probe (last victim "       \
+                   "or board poster)")                                   \
   X(cancelled_chunks, "chunks skipped by cancellation/deadline/drain")   \
   X(exceptions_caught, "exceptions captured at task/chunk boundaries")   \
   X(faults_injected, "faults injected by the chaos layer (faultsim)")    \

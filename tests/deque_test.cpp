@@ -98,6 +98,77 @@ TEST(Deque, InterleavedPushPop) {
   EXPECT_EQ(remaining, 200);
 }
 
+TEST(DequeBatch, EmptyDequeYieldsNothing) {
+  ws_deque d, mine;
+  std::uint32_t k = 99;
+  EXPECT_EQ(d.steal_batch(mine, &k), nullptr);
+  EXPECT_EQ(k, 0u);
+  EXPECT_EQ(mine.size_estimate(), 0);
+}
+
+TEST(DequeBatch, TakesHalfOldestFirst) {
+  ws_deque d, mine;
+  marker_task t0(0), t1(1), t2(2), t3(3), t4(4), t5(5), t6(6), t7(7);
+  marker_task* all[] = {&t0, &t1, &t2, &t3, &t4, &t5, &t6, &t7};
+  for (auto* t : all) d.push(t);
+  std::uint32_t k = 0;
+  auto* got = static_cast<marker_task*>(d.steal_batch(mine, &k));
+  // Half of 8 visible tasks: the oldest returns, three seed `mine`.
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->id(), 0);
+  EXPECT_EQ(k, 4u);
+  EXPECT_EQ(mine.size_estimate(), 3);
+  EXPECT_EQ(d.size_estimate(), 4);
+  // The surplus was pushed in victim (FIFO) order, so the thief's LIFO
+  // pops run newest-of-the-batch first...
+  EXPECT_EQ(static_cast<marker_task*>(mine.pop())->id(), 3);
+  EXPECT_EQ(static_cast<marker_task*>(mine.pop())->id(), 2);
+  EXPECT_EQ(static_cast<marker_task*>(mine.pop())->id(), 1);
+  // ...and the victim keeps its own newest tasks.
+  EXPECT_EQ(static_cast<marker_task*>(d.pop())->id(), 7);
+}
+
+TEST(DequeBatch, SingleElementTransfersAlone) {
+  ws_deque d, mine;
+  marker_task a(42);
+  d.push(&a);
+  std::uint32_t k = 0;
+  EXPECT_EQ(d.steal_batch(mine, &k), &a);
+  EXPECT_EQ(k, 1u);
+  EXPECT_EQ(mine.size_estimate(), 0);
+  EXPECT_EQ(d.pop(), nullptr);
+  EXPECT_EQ(d.steal(), nullptr);
+}
+
+TEST(DequeBatch, ClaimIsCappedAtBatchMax) {
+  ws_deque d, mine;
+  std::vector<std::unique_ptr<marker_task>> tasks;
+  for (int i = 0; i < 40; ++i) {
+    tasks.push_back(std::make_unique<marker_task>(i));
+    d.push(tasks.back().get());
+  }
+  std::uint32_t k = 0;
+  auto* got = static_cast<marker_task*>(d.steal_batch(mine, &k));
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->id(), 0);
+  EXPECT_EQ(k, static_cast<std::uint32_t>(ws_deque::kStealBatchMax));
+  EXPECT_EQ(d.size_estimate(), 40 - ws_deque::kStealBatchMax);
+}
+
+TEST(DequeBatch, OwnerKeepsLifoUnderNearEmptyLock) {
+  // With two tasks a batch claims only one — (2 + 1) / 2 — and the owner's
+  // near-empty locked pop must still return the newest task.
+  ws_deque d, mine;
+  marker_task a(0), b(1);
+  d.push(&a);
+  d.push(&b);
+  std::uint32_t k = 0;
+  EXPECT_EQ(d.steal_batch(mine, &k), &a);
+  EXPECT_EQ(k, 1u);
+  EXPECT_EQ(d.pop(), &b);
+  EXPECT_EQ(d.pop(), nullptr);
+}
+
 // Stress: one owner pushing/popping, several thieves stealing. Every task
 // must be obtained exactly once across all parties.
 class DequeStress : public ::testing::TestWithParam<int> {};
@@ -152,6 +223,119 @@ TEST_P(DequeStress, EveryTaskTakenExactlyOnce) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Thieves, DequeStress, ::testing::Values(1, 2, 4));
+
+// Stress with batched thieves: each thief batch-steals into its own deque
+// and drains it locally, while the owner pushes (with a tiny initial
+// capacity, so the ring grows under concurrent batch claims) and pops
+// frequently enough to keep the deque near-empty — exercising the top-lock
+// path against in-flight batch claims. Exactly-once must still hold.
+class DequeBatchStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(DequeBatchStress, EveryTaskTakenExactlyOnce) {
+  const int thieves = GetParam();
+  constexpr int kTasks = 20000;
+  ws_deque d(4);  // forces repeated grow() during live batch claims
+  std::vector<std::unique_ptr<marker_task>> tasks;
+  tasks.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.push_back(std::make_unique<marker_task>(i));
+  }
+
+  std::vector<std::atomic<int>> taken(kTasks);
+  for (auto& t : taken) t.store(0);
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < thieves; ++t) {
+    pool.emplace_back([&] {
+      ws_deque mine(8);
+      const auto drain = [&] {
+        while (auto* t2 = static_cast<marker_task*>(mine.pop())) {
+          taken[t2->id()].fetch_add(1);
+        }
+      };
+      while (!done.load(std::memory_order_acquire)) {
+        std::uint32_t k = 0;
+        if (auto* t2 = static_cast<marker_task*>(d.steal_batch(mine, &k))) {
+          taken[t2->id()].fetch_add(1);
+          drain();
+        }
+      }
+      // Final sweep in case the owner finished while we dozed.
+      std::uint32_t k = 0;
+      while (auto* t2 = static_cast<marker_task*>(d.steal_batch(mine, &k))) {
+        taken[t2->id()].fetch_add(1);
+        drain();
+      }
+    });
+  }
+
+  // Owner: push all, popping every other push so the deque hovers around
+  // the near-empty regime where pops contend with batch claims.
+  for (int i = 0; i < kTasks; ++i) {
+    d.push(tasks[i].get());
+    if (i % 2 == 0) {
+      if (auto* t2 = static_cast<marker_task*>(d.pop())) {
+        taken[t2->id()].fetch_add(1);
+      }
+    }
+  }
+  while (auto* t2 = static_cast<marker_task*>(d.pop())) {
+    taken[t2->id()].fetch_add(1);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+
+  for (int i = 0; i < kTasks; ++i) {
+    ASSERT_EQ(taken[i].load(), 1) << "task " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thieves, DequeBatchStress, ::testing::Values(1, 2, 4));
+
+// The single-element race, isolated: one task in the deque, the owner pops
+// while a batch thief claims. Exactly one side may win each round.
+TEST(DequeBatch, SingleElementRaceResolvesExactlyOnce) {
+  constexpr int kRounds = 5000;
+  ws_deque d(4);
+  marker_task only(0);
+  std::atomic<int> phase{0};  // round counter, advanced by the owner
+  std::atomic<int> winners{0};
+  std::atomic<bool> done{false};
+
+  std::thread thief([&] {
+    ws_deque mine(4);
+    int seen = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      if (phase.load(std::memory_order_acquire) > seen) {
+        std::uint32_t k = 0;
+        if (d.steal_batch(mine, &k) != nullptr) {
+          winners.fetch_add(1);
+          EXPECT_EQ(k, 1u);
+          EXPECT_EQ(mine.pop(), nullptr);
+        }
+        seen = phase.load(std::memory_order_acquire);
+      }
+    }
+  });
+
+  int owner_wins = 0;
+  for (int r = 0; r < kRounds; ++r) {
+    d.push(&only);
+    phase.store(r + 1, std::memory_order_release);
+    if (d.pop() != nullptr) {
+      ++owner_wins;
+    } else {
+      // Thief won this round; wait until it has consumed the task so the
+      // next round starts from an empty deque.
+      while (winners.load(std::memory_order_acquire) + owner_wins <= r) {
+      }
+    }
+  }
+  done.store(true, std::memory_order_release);
+  thief.join();
+  EXPECT_EQ(owner_wins + winners.load(), kRounds);
+}
 
 }  // namespace
 }  // namespace hls::rt

@@ -177,27 +177,27 @@ TEST(Runtime, WorkerRngSeedsAreIndependent) {
 }
 
 // Regression (lost wakeup): a notify_work() that lands between a worker's
-// last failed steal probe and its sleeper registration used to be dropped,
+// last failed steal probe and its waiter announcement used to be dropped,
 // leaving the worker to ride out the full timed wait with work pending.
-// idle_sleep now re-checks for visible work after registering; with a task
-// already queued it must bail out immediately instead of waiting.
-TEST(Runtime, IdleSleepBailsOutWhenWorkIsVisible) {
+// idle_park re-checks for visible work after prepare_park; with a task
+// already queued it must cancel the park immediately instead of blocking.
+TEST(Runtime, IdleParkBailsOutWhenWorkIsVisible) {
   runtime rt(1);
   worker& w = rt.current_worker();
   std::atomic<int> count{0};
   w.push(new counting_task(count));
   const auto t0 = std::chrono::steady_clock::now();
-  const bool waited = rt.idle_sleep();
+  const runtime::park_outcome out = rt.idle_park(w);
   const auto dt = std::chrono::steady_clock::now() - t0;
-  EXPECT_FALSE(waited);
-  // Far below the timed-wait interval: the re-check fired, not the timeout.
+  EXPECT_FALSE(out.blocked);
+  // Far below the park backstop: the re-check fired, not the timeout.
   EXPECT_LT(std::chrono::duration_cast<std::chrono::microseconds>(dt).count(),
             150);
   EXPECT_TRUE(rt.work_visible(0));
   w.work_until([&] { return count.load() == 1; });
 }
 
-TEST(Runtime, IdleSleepBailsOutWhenBoardIsOpen) {
+TEST(Runtime, IdleParkBailsOutWhenBoardIsOpen) {
   runtime rt(1);
   struct never_done : loop_record {
     bool participate(worker&) override { return false; }
@@ -207,18 +207,38 @@ TEST(Runtime, IdleSleepBailsOutWhenBoardIsOpen) {
   const int slot = rt.loop_board().post(rec);
   ASSERT_GE(slot, 0);
   EXPECT_TRUE(rt.work_visible(0));
-  EXPECT_FALSE(rt.idle_sleep());
+  EXPECT_FALSE(rt.idle_park(rt.current_worker()).blocked);
   rt.loop_board().clear(slot);
 }
 
-// Regression (phantom sleep accounting): only sleeps that actually waited
-// may be counted, so idle_sleep's return value distinguishes a real wait
-// from an immediate bailout. With nothing to do the call must wait (and
-// report it); the caller accounts idle_sleeps off that flag.
-TEST(Runtime, IdleSleepReportsRealWaits) {
+// Regression (phantom sleep accounting): only parks that actually blocked
+// may be counted, so idle_park's outcome distinguishes a real wait from an
+// immediate bailout. With nothing to do the call must block until the
+// backstop (and report it); the caller accounts idle_sleeps off that flag.
+TEST(Runtime, IdleParkReportsRealWaits) {
   runtime rt(1);
   EXPECT_FALSE(rt.work_visible(0));
-  EXPECT_TRUE(rt.idle_sleep());
+  const runtime::park_outcome out = rt.idle_park(rt.current_worker());
+  EXPECT_TRUE(out.blocked);
+  EXPECT_EQ(out.reason, parking_lot::wake_reason::timeout);
+}
+
+// A wake sent while a worker is between prepare_park and park() must not
+// be lost: unpark_one bumps the announced waiter's epoch, so the later
+// park() call consumes the ticket and returns without blocking.
+TEST(Runtime, UnparkBeforeParkIsNotLost) {
+  runtime rt(1);
+  parking_lot& pl = rt.parking();
+  const std::uint32_t ticket = pl.prepare_park(0);
+  EXPECT_TRUE(pl.unpark_one());
+  const auto t0 = std::chrono::steady_clock::now();
+  const parking_lot::park_result res =
+      pl.park(0, ticket, std::chrono::microseconds(200));
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  EXPECT_FALSE(res.waited);
+  EXPECT_EQ(res.reason, parking_lot::wake_reason::notified);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::microseconds>(dt).count(),
+            150);
 }
 
 TEST(Runtime, SequentialRuntimesDoNotInterfere) {
