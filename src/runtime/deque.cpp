@@ -42,7 +42,61 @@ constexpr std::memory_order kSlotStore = std::memory_order_relaxed;
 constexpr std::memory_order kSlotLoad = std::memory_order_relaxed;
 constexpr std::memory_order kBottomPublish = std::memory_order_relaxed;
 #endif
+
+// top_ is a packed word, not a bare index:
+//
+//   bit 63      owner lock — while set (pop()'s near-empty path) every
+//               steal/steal_batch probe reports empty, and every thief CAS
+//               fails anyway because its expected value is unlocked.
+//   bits 40–62  generation — bumped by every locked-pop unlock, so the raw
+//               value never returns to what a thief may have read before
+//               the lock. Without it there is an ABA: a thief reads
+//               top_ = t and slots [t, t+want), the owner lock/unlock-pops
+//               bottom slots inside that range (consuming them and
+//               restoring top_ = t), and the thief's CAS t -> t+want still
+//               succeeds — re-issuing tasks the owner already executed and
+//               stranding top_ above bottom_ (later pushes below top_ are
+//               never popped or stolen; joins hang).
+//   bits 0–39   index — the Chase-Lev top pointer; monotonic. Thief CASes
+//               add directly to the raw word (index +1 or +want), leaving
+//               the generation untouched.
+//
+// Bounds: 2^40 lifetime pushes per deque (~10^12); a generation collision
+// needs a thief stalled between its top_ read and its CAS across an exact
+// multiple of 2^23 locked pops at an unmoved index (north of half a second
+// of continuous near-empty push/pop churn) — both far outside operating
+// range.
+constexpr std::uint64_t kTopLockBit = std::uint64_t{1} << 63;
+constexpr unsigned kTopGenShift = 40;
+constexpr std::uint64_t kTopGenInc = std::uint64_t{1} << kTopGenShift;
+constexpr std::uint64_t kTopIdxMask = kTopGenInc - 1;
+
+inline std::int64_t top_index(std::uint64_t raw) noexcept {
+  return static_cast<std::int64_t>(raw & kTopIdxMask);
+}
+
+// Unlock value after a locked pop: the index advances by `advance` (1 when
+// the last element was taken, else 0) and the generation is always bumped.
+// A generation wrap carries into bit 63; the mask clears it.
+inline std::uint64_t unlock_after_pop(std::uint64_t raw,
+                                      std::uint64_t advance) noexcept {
+  return (raw + advance + kTopGenInc) & ~kTopLockBit;
+}
 }  // namespace
+
+namespace {
+// Test-only steal_batch gate (see deque.h). The ctx is published before
+// the fn (release/acquire), so a concurrent thief that observes the fn
+// also observes its ctx.
+std::atomic<void*> g_batch_gate_ctx{nullptr};
+std::atomic<ws_deque::batch_claim_gate_fn> g_batch_gate{nullptr};
+}  // namespace
+
+void ws_deque::set_batch_claim_gate(batch_claim_gate_fn fn,
+                                    void* ctx) noexcept {
+  g_batch_gate_ctx.store(ctx, std::memory_order_relaxed);
+  g_batch_gate.store(fn, std::memory_order_release);
+}
 
 ws_deque::ws_deque(std::size_t initial_capacity)
     : ring_(new ring(next_pow2(initial_capacity < 2 ? 2 : initial_capacity))) {
@@ -65,7 +119,7 @@ ws_deque::ring* ws_deque::grow(ring* old, std::int64_t bottom,
 
 void ws_deque::push(task* t) {
   const std::int64_t b = bottom_.load(std::memory_order_relaxed);
-  const std::int64_t tp = top_.load(std::memory_order_acquire);
+  const std::int64_t tp = top_index(top_.load(std::memory_order_acquire));
   ring* r = ring_.load(std::memory_order_relaxed);
   if (b - tp > static_cast<std::int64_t>(r->capacity) - 1) {
     r = grow(r, b, tp);
@@ -75,21 +129,15 @@ void ws_deque::push(task* t) {
   bottom_.store(b + 1, kBottomPublish);
 }
 
-namespace {
-// While the owner holds the "top lock" (pop()'s near-empty path), top_
-// reads as tp + kTopLock — far above any bottom_ — so every concurrent
-// steal/steal_batch sees an apparently empty deque and reports a failed
-// probe, and their claim CASes (expecting the unlocked value) fail. Only
-// the owner ever sets the lock, so pop() itself can never observe it.
-constexpr std::int64_t kTopLock = std::int64_t{1} << 62;
-}  // namespace
-
 task* ws_deque::pop() {
   const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
   ring* r = ring_.load(std::memory_order_relaxed);
   bottom_.store(b, std::memory_order_relaxed);
   std::atomic_thread_fence(std::memory_order_seq_cst);
-  std::int64_t tp = top_.load(std::memory_order_relaxed);
+  // Only the owner ever sets the lock bit, so the raw value read here is
+  // always unlocked.
+  std::uint64_t tr = top_.load(std::memory_order_relaxed);
+  std::int64_t tp = top_index(tr);
 
   if (tp > b) {
     // Deque was empty; restore the invariant.
@@ -107,25 +155,29 @@ task* ws_deque::pop() {
 
   // Near-empty: a batch claim could cover slot b, so the classic
   // "CAS only for the last element" rule is not enough. Briefly lock the
-  // top instead: while locked no thief can start or complete a claim, the
-  // owner takes the bottom slot (preserving LIFO order), then restores
-  // top_. Lock-free for the system: the loop only retries when a thief's
-  // CAS advanced top_, which is global progress.
+  // top instead: while the lock bit is set no thief can start or complete
+  // a claim, the owner takes the bottom slot (preserving LIFO order), then
+  // unlocks with a bumped generation — restoring the pre-lock raw value
+  // verbatim would let a batch claim prepared before the lock still commit
+  // afterwards (the ABA described in the encoding block above). Lock-free
+  // for the system: the loop only retries when a thief's CAS advanced
+  // top_, which is global progress.
   while (true) {
-    if (top_.compare_exchange_strong(tp, tp + kTopLock,
+    if (top_.compare_exchange_strong(tr, tr | kTopLockBit,
                                      std::memory_order_seq_cst,
                                      std::memory_order_relaxed)) {
       task* t = r->get(b, kSlotLoad);
       if (tp == b) {
         // Took the last element; leave the deque empty and unlocked.
-        top_.store(tp + 1, std::memory_order_release);
+        top_.store(unlock_after_pop(tr, 1), std::memory_order_release);
         bottom_.store(b + 1, std::memory_order_relaxed);
       } else {
-        top_.store(tp, std::memory_order_release);  // unlock
+        top_.store(unlock_after_pop(tr, 0), std::memory_order_release);
       }
       return t;
     }
-    // CAS failure reloaded tp: thieves advanced the top.
+    // CAS failure reloaded tr: thieves advanced the top.
+    tp = top_index(tr);
     if (tp > b) {
       bottom_.store(b + 1, std::memory_order_relaxed);
       return nullptr;
@@ -134,9 +186,13 @@ task* ws_deque::pop() {
 }
 
 task* ws_deque::steal() {
-  std::int64_t tp = top_.load(std::memory_order_acquire);
+  std::uint64_t tr = top_.load(std::memory_order_acquire);
   std::atomic_thread_fence(std::memory_order_seq_cst);
   const std::int64_t b = bottom_.load(std::memory_order_acquire);
+  // A set lock bit means the owner is mid locked-pop: report empty (the
+  // CAS below could only fail anyway — its expected value is unlocked).
+  if ((tr & kTopLockBit) != 0) return nullptr;
+  const std::int64_t tp = top_index(tr);
   if (tp >= b) return nullptr;
 
   // Acquire pairs with the release store in grow(): a thief that observes
@@ -146,7 +202,7 @@ task* ws_deque::steal() {
   // see the ordering table at the top of this file.)
   ring* r = ring_.load(std::memory_order_acquire);
   task* t = r->get(tp, kSlotLoad);
-  if (!top_.compare_exchange_strong(tp, tp + 1, std::memory_order_seq_cst,
+  if (!top_.compare_exchange_strong(tr, tr + 1, std::memory_order_seq_cst,
                                     std::memory_order_relaxed)) {
     return nullptr;  // lost the race
   }
@@ -155,11 +211,13 @@ task* ws_deque::steal() {
 
 task* ws_deque::steal_batch(ws_deque& into, std::uint32_t* transferred) {
   *transferred = 0;
-  std::int64_t tp = top_.load(std::memory_order_acquire);
+  std::uint64_t tr = top_.load(std::memory_order_acquire);
   std::atomic_thread_fence(std::memory_order_seq_cst);
   const std::int64_t b = bottom_.load(std::memory_order_acquire);
-  // tp >= b also covers an owner-locked top (tp + kTopLock is far above
-  // any bottom): the probe just reports empty.
+  // Owner mid locked-pop: report empty rather than prepare a claim whose
+  // CAS is guaranteed to fail.
+  if ((tr & kTopLockBit) != 0) return nullptr;
+  const std::int64_t tp = top_index(tr);
   if (tp >= b) return nullptr;
 
   // Up to half the visible tasks, capped at kStealBatchMax. The claim
@@ -172,15 +230,21 @@ task* ws_deque::steal_batch(ws_deque& into, std::uint32_t* transferred) {
                                                    (avail + 1) / 2);
   ring* r = ring_.load(std::memory_order_acquire);
   task* buf[kStealBatchMax];
-  // Read before claiming: a successful CAS proves top_ was untouched, so
-  // these slots were still live when read (grow() copies but never mutates
-  // the old ring, and the owner cannot wrap within one capacity). A failed
-  // CAS discards them.
+  // Read before claiming: a successful CAS proves top_'s raw value was
+  // untouched, and because every locked pop permanently bumps the
+  // generation, an untouched raw value proves no claim AND no locked pop
+  // happened in between — so these slots were still live when read
+  // (grow() copies but never mutates the old ring, and the owner cannot
+  // wrap within one capacity). A failed CAS discards them.
   for (std::int64_t i = 0; i < want; ++i) {
     buf[i] = r->get(tp + i, kSlotLoad);
   }
-  if (!top_.compare_exchange_strong(tp, tp + want, std::memory_order_seq_cst,
-                                    std::memory_order_relaxed)) {
+  if (batch_claim_gate_fn gate = g_batch_gate.load(std::memory_order_acquire)) {
+    gate(g_batch_gate_ctx.load(std::memory_order_relaxed));
+  }
+  if (!top_.compare_exchange_strong(
+          tr, tr + static_cast<std::uint64_t>(want),
+          std::memory_order_seq_cst, std::memory_order_relaxed)) {
     return nullptr;  // lost the race (thief, batch thief, or owner lock)
   }
   // Oldest task goes to the caller; the surplus seeds the thief's own
@@ -193,7 +257,8 @@ task* ws_deque::steal_batch(ws_deque& into, std::uint32_t* transferred) {
 
 std::int64_t ws_deque::size_estimate() const noexcept {
   const std::int64_t b = bottom_.load(std::memory_order_relaxed);
-  const std::int64_t tp = top_.load(std::memory_order_relaxed);
+  // The mask also strips a transient lock bit, yielding the pre-lock index.
+  const std::int64_t tp = top_index(top_.load(std::memory_order_relaxed));
   return b > tp ? b - tp : 0;
 }
 

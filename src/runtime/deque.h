@@ -54,6 +54,15 @@ class ws_deque {
   // Racy size estimate; used only for victim-selection heuristics.
   std::int64_t size_estimate() const noexcept;
 
+  // Test-only seam: when set, invoked inside steal_batch between the slot
+  // reads and the claim CAS, letting interleaving tests hold a prepared
+  // claim in flight while the owner runs (see the locked-pop ABA
+  // regression test). Costs one relaxed load + predicted-not-taken branch
+  // per batch probe; never set outside tests. Pass nullptr to clear.
+  using batch_claim_gate_fn = void (*)(void* ctx);
+  static void set_batch_claim_gate(batch_claim_gate_fn fn,
+                                   void* ctx) noexcept;
+
  private:
   struct ring {
     explicit ring(std::size_t cap)
@@ -72,7 +81,12 @@ class ws_deque {
 
   ring* grow(ring* old, std::int64_t bottom, std::int64_t top);
 
-  alignas(kCacheLine) std::atomic<std::int64_t> top_{0};
+  // Packed word, not a bare index: | lock (1) | generation (23) | index
+  // (40) |. The generation is bumped by every locked-pop unlock so the raw
+  // value never repeats, which is what makes a thief's claim CAS safe
+  // against owner pops (see the encoding block in deque.cpp for the full
+  // ABA argument and the size bounds).
+  alignas(kCacheLine) std::atomic<std::uint64_t> top_{0};
   alignas(kCacheLine) std::atomic<std::int64_t> bottom_{0};
   alignas(kCacheLine) std::atomic<ring*> ring_;
   std::vector<std::unique_ptr<ring>> retired_;  // owner-only; freed at dtor

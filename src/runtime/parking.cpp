@@ -18,7 +18,18 @@ std::uint32_t parking_lot::prepare_park(std::uint32_t w) noexcept {
 }
 
 void parking_lot::cancel_park(std::uint32_t w) noexcept {
-  slots_[w].state.store(kActive, std::memory_order_relaxed);
+  slot& s = slots_[w];
+  {
+    // Under the slot mutex: an unpark_one racing with this cancel may have
+    // just targeted the slot (epoch bumped, wake_pending set). Consuming
+    // the flag here — with the state transition in the same critical
+    // section — keeps the invariant that wake_pending tracks exactly one
+    // undelivered wake, and closes the race where the notifier reads a
+    // half-cancelled slot.
+    std::lock_guard<std::mutex> lg(s.mu);
+    s.state.store(kActive, std::memory_order_relaxed);
+    s.wake_pending = false;
+  }
   waiters_.fetch_sub(1, std::memory_order_release);
 }
 
@@ -50,6 +61,10 @@ parking_lot::park_result parking_lot::park(std::uint32_t w,
     }
   }
   s.state.store(kActive, std::memory_order_relaxed);
+  // Any wake aimed at this park cycle is consumed by the return below
+  // (notified) or can no longer be delivered (timeout/stop with the state
+  // now active), so the slot is again eligible for fresh wakes.
+  s.wake_pending = false;
   lk.unlock();
   waiters_.fetch_sub(1, std::memory_order_release);
   return res;
@@ -71,11 +86,16 @@ bool parking_lot::unpark_one() noexcept {
     {
       std::lock_guard<std::mutex> lg(s.mu);
       // Re-check under the lock: the worker may have cancelled or finished
-      // parking since the scan. Bumping the epoch of an active slot would
-      // be harmless (prepare_park reads a fresh ticket) but would waste
-      // this wake; skip and keep scanning instead.
-      if (s.state.load(std::memory_order_relaxed) != kActive) {
+      // parking since the scan (bumping an active slot would waste the
+      // wake), and a slot whose previous wake is still unconsumed is
+      // skipped too — bumping it again would merge two wakes into one
+      // delivered signal, degrading a burst of posts to backstop latency
+      // and overcounting wakes_sent. Keep scanning for a waiter that can
+      // still consume a fresh wake.
+      if (s.state.load(std::memory_order_relaxed) != kActive &&
+          !s.wake_pending) {
         s.epoch.fetch_add(1, std::memory_order_relaxed);
+        s.wake_pending = true;
         signalled = true;
       }
     }
@@ -97,7 +117,10 @@ void parking_lot::unpark_all() noexcept {
     {
       std::lock_guard<std::mutex> lg(s.mu);
       if (s.state.load(std::memory_order_relaxed) != kActive) {
+        // A broadcast wakes everyone, so an already-pending slot is bumped
+        // again rather than skipped; the waiter consumes both as one.
         s.epoch.fetch_add(1, std::memory_order_relaxed);
+        s.wake_pending = true;
         signalled = true;
       }
     }

@@ -46,6 +46,30 @@
 
 namespace hls::rt {
 
+// Type-erased, non-owning view of a waiter's completion predicate (a
+// work_until pred). Threaded through the idle path so the check-then-park
+// re-check can cover completion edges: a broadcast (loop retire /
+// task_group drain) that fires before the waiter announces itself finds no
+// slot to unpark, so the only way the edge stays tracked is for the waiter
+// to re-test the predicate itself after announcing. The referenced callable
+// must outlive the view (work_until holds it on the stack across pause).
+class park_predicate {
+ public:
+  constexpr park_predicate() noexcept = default;
+  template <typename Pred>
+  explicit park_predicate(const Pred& pred) noexcept
+      : fn_([](const void* p) { return (*static_cast<const Pred*>(p))(); }),
+        ctx_(&pred) {}
+
+  // True when a predicate is attached and currently holds; an empty view
+  // is never satisfied.
+  bool satisfied() const { return fn_ != nullptr && fn_(ctx_); }
+
+ private:
+  bool (*fn_)(const void*) = nullptr;
+  const void* ctx_ = nullptr;
+};
+
 class parking_lot {
  public:
   enum class wake_reason : std::uint8_t {
@@ -85,7 +109,9 @@ class parking_lot {
 
   // Wakes exactly one announced waiter (round-robin over slots). Returns
   // true when a waiter was signalled; false when none was visible. Fast
-  // path with no waiters is one fence + one load, no lock.
+  // path with no waiters is one fence + one load, no lock. A slot that
+  // already holds an unconsumed wake is skipped in favour of a different
+  // waiter — two unparks never merge into one delivered signal.
   bool unpark_one() noexcept;
 
   // Wakes every announced waiter (loop completion, join edges, shutdown).
@@ -115,6 +141,11 @@ class parking_lot {
     std::atomic<std::uint8_t> state{kActive};
     std::mutex mu;
     std::condition_variable cv;
+    // Guarded by mu: true while an unpark has bumped the epoch but the
+    // owning worker has not yet consumed the wake (in park or cancel_park).
+    // unpark_one skips such slots so a burst of wakes fans out to distinct
+    // waiters instead of collapsing onto one.
+    bool wake_pending = false;
   };
 
   std::uint32_t n_;

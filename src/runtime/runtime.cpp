@@ -123,15 +123,19 @@ bool runtime::work_visible(std::uint32_t self) const noexcept {
   return false;
 }
 
-runtime::park_outcome runtime::idle_park(worker& w) {
+runtime::park_outcome runtime::idle_park(worker& w, park_predicate done) {
   if (stopping()) return {false, parking_lot::wake_reason::stop};
   const std::uint32_t ticket = parking_.prepare_park(w.id());
   // Check-then-park (the lost-wakeup fix): the waiter announcement above
   // is seq_cst-ordered before this re-check, and notify_work's waiter
   // scan is seq_cst-ordered after its work publication — so a racing
   // notify either sees us announced (and bumps our epoch, making park()
-  // return immediately) or we see its work here and cancel.
-  if (stopping() || work_visible(w.id())) {
+  // return immediately) or we see its work here and cancel. The caller's
+  // completion predicate is part of the re-check for the same reason: a
+  // completion broadcast (loop retire / task_group drain) publishes no new
+  // work, so a broadcast landing just before the announcement is visible
+  // only through the predicate itself.
+  if (stopping() || work_visible(w.id()) || done.satisfied()) {
     parking_.cancel_park(w.id());
     return {false, parking_lot::wake_reason::notified};
   }

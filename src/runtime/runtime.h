@@ -87,13 +87,18 @@ class runtime {
 
   // Parks worker w until new work is signalled. Encodes the
   // check-then-park protocol: announce the waiter (parking_lot::
-  // prepare_park), re-check for visible work, then either cancel or
-  // commit to the park. A notify_work() racing with the idle transition
-  // is never lost: it either observes the announced waiter or its work is
-  // seen by the re-check. Returns blocked == false when the park was
-  // cancelled (work visible, or stopping) — such calls must not be
-  // accounted as idle sleeps.
-  park_outcome idle_park(worker& w);
+  // prepare_park), re-check for visible work AND the caller's own
+  // completion predicate, then either cancel or commit to the park. A
+  // notify_work() racing with the idle transition is never lost: it either
+  // observes the announced waiter or its work is seen by the re-check.
+  // `done` is the work_until predicate (empty from the top-level worker
+  // loop): a completion broadcast that fired before the waiter announced
+  // itself found nobody to unpark, so the re-check must re-test the
+  // predicate or that edge would silently fall back to the backstop.
+  // Returns blocked == false when the park was cancelled (work or
+  // completion visible, or stopping) — such calls must not be accounted as
+  // idle sleeps.
+  park_outcome idle_park(worker& w, park_predicate done = {});
 
   // True when any deque holds a task or the board has an open loop. Racy
   // by nature (size estimates); used by the idle path's check-then-park

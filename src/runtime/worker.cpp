@@ -146,7 +146,7 @@ bool worker::try_progress() {
   return try_steal_round();
 }
 
-void worker::pause(int idle_count) {
+void worker::pause(int idle_count, park_predicate done) {
   if (idle_count < 4) {
     cpu_relax();
   } else if (idle_count < 16) {
@@ -155,18 +155,20 @@ void worker::pause(int idle_count) {
     const std::uint64_t t0 = tel_.now();
     // Count only parks that actually blocked: idle_park reports
     // blocked == false when it bailed out in the check-then-park re-check
-    // (work became visible, or the runtime is stopping), and those must
-    // not inflate the sleep counter or emit zero-length idle spans.
-    const runtime::park_outcome out = rt_.idle_park(*this);
+    // (work or the caller's completion predicate became visible, or the
+    // runtime is stopping), and those must not inflate the sleep counter
+    // or emit zero-length idle spans.
+    const runtime::park_outcome out = rt_.idle_park(*this, done);
     if (!out.blocked) return;
     telemetry::bump(tel_.counters.idle_sleeps);
     const std::uint64_t dt = tel_.now() - t0;
     telemetry::bump(tel_.counters.idle_sleep_ns, dt);
     // A targeted wake that finds no visible work means the work was taken
-    // before this worker arrived (or the wake raced a completion edge);
-    // tracked so wake efficiency is observable.
+    // before this worker arrived; tracked so wake efficiency is
+    // observable. A wake that delivered a completion edge (the caller's
+    // predicate now holds) did its job and is not spurious.
     if (out.reason == parking_lot::wake_reason::notified &&
-        !rt_.work_visible(id_)) {
+        !rt_.work_visible(id_) && !done.satisfied()) {
       telemetry::bump(tel_.counters.wakes_spurious);
     }
     if (tel_.events_on()) {

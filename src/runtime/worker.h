@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "runtime/deque.h"
+#include "runtime/parking.h"
 #include "runtime/task_pool.h"
 #include "telemetry/registry.h"
 #include "util/rng.h"
@@ -65,7 +66,10 @@ class worker {
   // Block pool for this worker's task allocations (owner thread only).
   block_pool& pool() noexcept { return pool_; }
 
-  // Runs scheduling steps until pred() holds, backing off when idle.
+  // Runs scheduling steps until pred() holds, backing off when idle. The
+  // predicate is threaded into the park path so the check-then-park
+  // re-check covers completion broadcasts that fired before the waiter was
+  // announced (the predicate flipped, but there was nobody to unpark).
   template <typename Pred>
   void work_until(Pred&& pred) {
     int idle = 0;
@@ -74,7 +78,7 @@ class worker {
         idle = 0;
         continue;
       }
-      pause(++idle);
+      pause(++idle, park_predicate(pred));
     }
   }
 
@@ -82,8 +86,10 @@ class worker {
   friend class runtime;
 
   // Progressive backoff: relax -> yield -> park on the runtime's
-  // per-worker parking slot (runtime::idle_park).
-  void pause(int idle_count);
+  // per-worker parking slot (runtime::idle_park). `done` is the caller's
+  // work_until predicate (empty from the top-level worker loop); it joins
+  // the pre-park re-check and refines spurious-wake accounting.
+  void pause(int idle_count, park_predicate done = {});
 
   // One round of steal attempts: affinity probes first (last successful
   // victim, then the board's poster hint), then random victims. Successful

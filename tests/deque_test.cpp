@@ -293,6 +293,139 @@ TEST_P(DequeBatchStress, EveryTaskTakenExactlyOnce) {
 
 INSTANTIATE_TEST_SUITE_P(Thieves, DequeBatchStress, ::testing::Values(1, 2, 4));
 
+// Deterministic regression (locked-pop ABA): a batch claim is held in
+// flight (via the test gate between steal_batch's slot reads and its CAS)
+// while the owner lock-pops through the claim range and refills the ring
+// slots with fresh tasks. top_'s index is back at the claim's expected
+// value, so before the generation counter the stale CAS *succeeded* —
+// handing the thief a task the owner had already taken and stranding the
+// refills below top_. With the generation bumped on every locked-pop
+// unlock, the stale claim must fail and every task must stay reachable.
+TEST(DequeBatch, LockedPopsInvalidateInFlightBatchClaim) {
+  struct gate_ctx {
+    std::atomic<bool> reached{false};
+    std::atomic<bool> release{false};
+  };
+  static constexpr auto gate_fn = [](void* p) {
+    auto* g = static_cast<gate_ctx*>(p);
+    if (g->reached.exchange(true, std::memory_order_acq_rel)) return;
+    while (!g->release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  };
+
+  ws_deque d(16);
+  marker_task t0(0), t1(1), t2(2), t3(3), r1(11), r2(12), r3(13);
+  for (auto* t : {&t0, &t1, &t2, &t3}) d.push(t);
+
+  gate_ctx g;
+  ws_deque::set_batch_claim_gate(+gate_fn, &g);
+  task* got = &t0;
+  std::uint32_t k = 99;
+  std::thread thief([&] {
+    ws_deque mine(8);
+    // 4 visible tasks -> want = 2: the claim is prepared over {t0, t1}.
+    got = d.steal_batch(mine, &k);
+    EXPECT_EQ(mine.pop(), nullptr);  // a failed claim deposits nothing
+  });
+  while (!g.reached.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  // Owner: three locked near-empty pops — the last consumes t1, inside the
+  // thief's prepared claim range — then refill the freed ring slots.
+  EXPECT_EQ(d.pop(), &t3);
+  EXPECT_EQ(d.pop(), &t2);
+  EXPECT_EQ(d.pop(), &t1);
+  d.push(&r1);
+  d.push(&r2);
+  d.push(&r3);
+  g.release.store(true, std::memory_order_release);
+  thief.join();
+  ws_deque::set_batch_claim_gate(nullptr, nullptr);
+
+  EXPECT_EQ(got, nullptr);
+  EXPECT_EQ(k, 0u);
+  // Nothing double-taken, nothing stranded: the owner still holds exactly
+  // the three refills and the untouched oldest task.
+  EXPECT_EQ(d.pop(), &r3);
+  EXPECT_EQ(d.pop(), &r2);
+  EXPECT_EQ(d.pop(), &r1);
+  EXPECT_EQ(d.pop(), &t0);
+  EXPECT_EQ(d.pop(), nullptr);
+}
+
+// Regression (locked-pop ABA): pop()'s near-empty path used to restore
+// top_'s raw pre-lock value on unlock, so a batch claim prepared before a
+// run of locked pops could still commit afterwards — re-taking slots the
+// owner had already consumed (double execution) and stranding top_ above
+// bottom_ (later pushes below it were lost). The owner here oscillates
+// strictly inside the near-empty band without ever draining, so top_'s
+// index only moves when a thief's claim lands and every owner pop goes
+// through the lock — the regime where only the generation bump makes a
+// stale batch claim fail. Exactly-once must hold.
+TEST(DequeBatch, NearEmptyOscillationSurvivesStaleBatchClaims) {
+  constexpr int kTotal = 40000;
+  constexpr int kThieves = 2;
+  ws_deque d(16);
+  std::vector<std::unique_ptr<marker_task>> tasks;
+  tasks.reserve(kTotal);
+  for (int i = 0; i < kTotal; ++i) {
+    tasks.push_back(std::make_unique<marker_task>(i));
+  }
+  std::vector<std::atomic<int>> taken(kTotal);
+  for (auto& t : taken) t.store(0);
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThieves; ++t) {
+    pool.emplace_back([&] {
+      ws_deque mine(8);
+      const auto drain = [&] {
+        while (auto* t2 = static_cast<marker_task*>(mine.pop())) {
+          taken[t2->id()].fetch_add(1);
+        }
+      };
+      while (!done.load(std::memory_order_acquire)) {
+        std::uint32_t k = 0;
+        if (auto* t2 = static_cast<marker_task*>(d.steal_batch(mine, &k))) {
+          taken[t2->id()].fetch_add(1);
+          drain();
+        }
+      }
+      std::uint32_t k = 0;
+      while (auto* t2 = static_cast<marker_task*>(d.steal_batch(mine, &k))) {
+        taken[t2->id()].fetch_add(1);
+        drain();
+      }
+    });
+  }
+
+  // Owner: refill to 7 visible (just under kStealBatchMax, so every pop
+  // takes the locked near-empty path), then pop down to 1 — never taking
+  // the last element. Each refill rewrites the ring slots the pops just
+  // consumed, which is what turns a stale claim into double execution.
+  int next = 0;
+  while (next < kTotal) {
+    while (d.size_estimate() < 7 && next < kTotal) {
+      d.push(tasks[next++].get());
+    }
+    for (int i = 0; i < 6; ++i) {
+      auto* t2 = static_cast<marker_task*>(d.pop());
+      if (t2 == nullptr) break;
+      taken[t2->id()].fetch_add(1);
+    }
+  }
+  while (auto* t2 = static_cast<marker_task*>(d.pop())) {
+    taken[t2->id()].fetch_add(1);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+
+  for (int i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(taken[i].load(), 1) << "task " << i;
+  }
+}
+
 // The single-element race, isolated: one task in the deque, the owner pops
 // while a batch thief claims. Exactly one side may win each round.
 TEST(DequeBatch, SingleElementRaceResolvesExactlyOnce) {

@@ -119,6 +119,37 @@ TEST(ParkingLot, UnparkOneWakesExactlyOne) {
   EXPECT_EQ(timed_out.load(), 1);
 }
 
+// Regression (merged wakes): a second unpark_one used to re-bump the epoch
+// of a waiter that already held an unconsumed wake and report success —
+// two wakes collapsing into one delivered signal and overcounting
+// wakes_sent. A slot with a pending wake must be skipped in favour of a
+// different waiter (here there is none, so the call reports failure).
+TEST(ParkingLot, UnparkOneSkipsWaiterWithUnconsumedWake) {
+  parking_lot pl(2);
+  const std::uint32_t ticket = pl.prepare_park(1);
+  EXPECT_TRUE(pl.unpark_one());
+  EXPECT_FALSE(pl.unpark_one());
+  EXPECT_FALSE(pl.park(1, ticket, 10ms).waited);
+  // Once the wake is consumed, the slot is eligible again.
+  const std::uint32_t t2 = pl.prepare_park(1);
+  EXPECT_TRUE(pl.unpark_one());
+  EXPECT_FALSE(pl.park(1, t2, 10ms).waited);
+}
+
+// A wake delivered between prepare_park and cancel_park is consumed by the
+// cancel (the canceller is awake and about to process the work it saw); it
+// must not linger and block the slot from receiving future wakes.
+TEST(ParkingLot, CancelConsumesPendingWake) {
+  parking_lot pl(1);
+  (void)pl.prepare_park(0);
+  EXPECT_TRUE(pl.unpark_one());
+  pl.cancel_park(0);
+  EXPECT_EQ(pl.waiters(), 0u);
+  const std::uint32_t ticket = pl.prepare_park(0);
+  EXPECT_TRUE(pl.unpark_one());
+  EXPECT_FALSE(pl.park(0, ticket, 10ms).waited);
+}
+
 // Stress: waiters park/unpark in a tight loop against a producer issuing
 // targeted wakes. Progress (no deadlock, no lost waiter accounting) is the
 // property; exact wake pairing is timing-dependent by design.

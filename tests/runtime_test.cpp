@@ -223,6 +223,28 @@ TEST(Runtime, IdleParkReportsRealWaits) {
   EXPECT_EQ(out.reason, parking_lot::wake_reason::timeout);
 }
 
+// Regression (untracked completion edge): a completion broadcast
+// (loop_ctx::retire / task_group drain) that fires after a joiner's last
+// predicate check but before it announces itself as a waiter finds nobody
+// to unpark — the edge is visible only through the predicate itself. The
+// re-check must therefore cover the caller's predicate, not just
+// work_visible(): with the predicate already satisfied and no work
+// anywhere, the park must cancel instead of riding out the backstop.
+TEST(Runtime, IdleParkBailsOutWhenPredicateAlreadySatisfied) {
+  runtime rt(1);
+  EXPECT_FALSE(rt.work_visible(0));
+  const bool completed = true;
+  const auto pred = [&] { return completed; };
+  const auto t0 = std::chrono::steady_clock::now();
+  const runtime::park_outcome out =
+      rt.idle_park(rt.current_worker(), park_predicate(pred));
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  EXPECT_FALSE(out.blocked);
+  // Far below the park backstop: the re-check fired, not the timeout.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::microseconds>(dt).count(),
+            150);
+}
+
 // A wake sent while a worker is between prepare_park and park() must not
 // be lost: unpark_one bumps the announced waiter's epoch, so the later
 // park() call consumes the ticket and returns without blocking.
