@@ -23,7 +23,13 @@ import json
 names = [b["name"] for b in json.load(open("build/BENCH_rt_primitives.json"))["benchmarks"]]
 assert any("BM_WakeLatency" in n for n in names), names
 assert any("BM_BatchSteal" in n for n in names), names
+assert any("BM_SpanOverhead" in n for n in names), names
 EOF
+
+# Fig. 1 microbench archive (JSON-lines, one record per measurement), kept
+# next to the primitives archive for cross-run comparison.
+build/bench/fig1_micro --json > build/BENCH_fig1_micro.json
+python3 -m json.tool --json-lines build/BENCH_fig1_micro.json > /dev/null
 
 # Telemetry end-to-end: a traced run must produce valid Chrome trace JSON
 # and a parsable JSON-lines report.
@@ -42,7 +48,7 @@ build/examples/nas_driver all
 # Chaos-seeded stress run: the full stress suite under the fault injector
 # (docs/robustness.md). The seed is fixed so a failure replays exactly.
 echo "== chaos stress"
-HLS_CHAOS="seed=20260807,claim_fail=0.3,claim_peek=0.2,steal_fail=0.3,pop_skip=0.1,post_fail=0.2,delay=0.05,delay_us=50" \
+HLS_CHAOS="seed=20260807,claim_fail=0.3,claim_peek=0.2,steal_fail=0.3,pop_skip=0.1,post_fail=0.2,range_fail=0.3,delay=0.05,delay_us=50" \
   build/tests/stress_test --gtest_brief=1
 build/examples/quickstart --chaos=20260807 > /dev/null
 
@@ -52,7 +58,7 @@ for t in deque_test runtime_test parking_test parallel_for_test \
          hybrid_loop_test task_pool_test task_group_test stress_test \
          reduce_test sched_features_test micro_workload_test \
          telemetry_test telemetry_runtime_test faultsim_test \
-         hardening_test chaos_sched_test; do
+         hardening_test chaos_sched_test range_slot_test; do
   echo "== TSAN $t"
   "build-tsan/tests/$t" --gtest_brief=1
 done

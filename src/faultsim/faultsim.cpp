@@ -18,6 +18,7 @@ const char* hook_name(hook h) noexcept {
     case hook::board_post: return "post_fail";
     case hook::body_throw: return "body_throw";
     case hook::delay: return "delay";
+    case hook::range_steal: return "range_fail";
     case hook::count_: break;
   }
   return "?";
@@ -60,6 +61,7 @@ config config::default_mix(std::uint64_t seed) {
   c.of(hook::steal_probe) = 0.30;
   c.of(hook::deque_pop) = 0.10;
   c.of(hook::board_post) = 0.20;
+  c.of(hook::range_steal) = 0.20;
   c.of(hook::delay) = 0.02;
   c.delay_us = 20;
   return c;

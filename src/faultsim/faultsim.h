@@ -1,13 +1,15 @@
 // Deterministic fault injection for the scheduler (the chaos layer).
 //
 // A seeded injector is hooked at the scheduler's decision points — the
-// hybrid claim fetch_or, the designated-partition peek, steal probes,
-// local deque pops, board posts, and chunk bodies — and can force each of
+// hybrid claim fetch_or, the designated-partition peek, steal probes, the
+// range-slot steal CAS, local deque pops, board posts, and chunk bodies —
+// and can force each of
 // them to fail, delay a worker, or throw an injected exception out of a
 // chosen chunk. Every fault is *safe by construction*: a forced claim
 // failure leaves the partition unclaimed (the hybrid record's rescue sweep
 // restores coverage), a skipped pop leaves the task queued for the next
-// pop or a thief, and a forced post failure degrades to the board-overflow
+// pop or a thief, a failed range steal leaves the span whole for its
+// owner, and a forced post failure degrades to the board-overflow
 // path that is already correct. Faults therefore perturb schedules without
 // ever being able to lose or duplicate an iteration — which is exactly
 // what the chaos tests assert.
@@ -51,6 +53,7 @@ enum class hook : unsigned {
   board_post,   // board post forced to the overflow (-1) path
   body_throw,   // chunk body replaced by an injected_fault throw
   delay,        // worker sleeps cfg.delay_us before proceeding
+  range_steal,  // range-slot steal CAS forced to fail (span stays whole)
   count_,
 };
 inline constexpr unsigned kNumHooks = static_cast<unsigned>(hook::count_);

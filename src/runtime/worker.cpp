@@ -87,6 +87,31 @@ bool worker::try_steal_round() {
       telemetry::bump(tel_.counters.faults_injected);
       return false;
     }
+    // The victim's range slot outranks its deque: stealing half of a live
+    // span is one CAS, no allocation, and seeds this worker's own slot
+    // (recursive splitting). The pre-check keeps the common miss at one
+    // relaxed load.
+    range_slot& rs = rt_.worker_at(v).range();
+    if (rs.looks_open()) {
+      if (chaos != nullptr &&
+          chaos->fire(faultsim::hook::range_steal, id_)) {
+        // Forced failed split CAS: the span stays whole for the owner.
+        telemetry::bump(tel_.counters.faults_injected);
+      } else if (range_slot::stolen s = rs.try_steal()) {
+        telemetry::bump(tel_.counters.steal_probes, probes);
+        telemetry::bump(tel_.counters.range_steals);
+        telemetry::bump(tel_.counters.steal_latency_ns, tel_.now() - t0);
+        if (affinity) telemetry::bump(tel_.counters.affinity_hits);
+        tel_.steal_probe_hist.record(probes);
+        if (tel_.events_on()) {
+          tel_.emit({tel_.now(), 0, static_cast<std::int64_t>(v),
+                     s.hi - s.lo, telemetry::event_kind::range_steal});
+        }
+        last_victim_ = v;
+        s.run(*this, s.ctx, s.lo, s.hi);
+        return true;
+      }
+    }
     std::uint32_t k = 0;
     task* t = rt_.worker_at(v).deque().steal_batch(deque_, &k);
     if (t == nullptr) return false;

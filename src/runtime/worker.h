@@ -8,6 +8,7 @@
 
 #include "runtime/deque.h"
 #include "runtime/parking.h"
+#include "runtime/range_slot.h"
 #include "runtime/task_pool.h"
 #include "telemetry/registry.h"
 #include "util/rng.h"
@@ -37,6 +38,12 @@ class worker {
   runtime& rt() noexcept { return rt_; }
   ws_deque& deque() noexcept { return deque_; }
   xoshiro256ss& rng() noexcept { return rng_; }
+
+  // This worker's splittable-range slot (lazy loop splitting): opened by
+  // the owner while it executes a loop span, probed by thieves before
+  // deque steals. See runtime/range_slot.h.
+  range_slot& range() noexcept { return range_; }
+  const range_slot& range() const noexcept { return range_; }
 
   // This worker's telemetry state: counters, histograms, event ring.
   telemetry::worker_state& tel() noexcept { return tel_; }
@@ -102,6 +109,7 @@ class worker {
   runtime& rt_;
   std::uint32_t id_;
   ws_deque deque_;
+  range_slot range_;
   xoshiro256ss rng_;
   telemetry::worker_state& tel_;
   block_pool pool_;

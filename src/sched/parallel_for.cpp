@@ -93,7 +93,12 @@ loop_result run_serial_foreign(std::int64_t begin, std::int64_t end,
     }
     const std::int64_t hi = std::min(end, lo + grain);
     body(lo, hi);
-    if (opt.trace != nullptr) opt.trace->record(0, lo, hi);
+    // Foreign chunks go to the trace's dedicated foreign lane — recording
+    // them as worker 0 would collide with the real worker 0 in merged
+    // traces (and race its unlocked per-worker buffer).
+    if (opt.trace != nullptr) {
+      opt.trace->record(trace::loop_trace::kForeignLane, lo, hi);
+    }
   }
   return res;
 }
@@ -143,6 +148,7 @@ loop_result parallel_for(rt::runtime& rt, std::int64_t begin, std::int64_t end,
 
   auto ctx = std::make_shared<sched::loop_ctx>(begin, end, body, grain,
                                                opt.trace);
+  ctx->eager_split = opt.eager_subtasks;
   ctx->cancel = cancel_flag;
   if (opt.deadline.count() > 0) {
     ctx->deadline_at_ns = telemetry::steady_now_ns() +
@@ -177,9 +183,11 @@ loop_result parallel_for(rt::runtime& rt, std::int64_t begin, std::int64_t end,
   }
 
   if (pol == policy::dynamic_ws) {
-    // Vanilla cilk_for: pure divide-and-conquer from the caller's deque;
-    // idle workers join via random stealing only.
-    sched::ws_subtask::run_span(me, ctx, begin, end);
+    // Vanilla cilk_for, lazily split: the caller publishes the span in its
+    // range slot and consumes it chunk by chunk; idle workers join by
+    // stealing only — the upper half off the slot (or, on the eager
+    // fallback paths, divide-and-conquer subtasks off the deque).
+    sched::range_span::run(me, ctx, begin, end);
     me.work_until([&] { return ctx->finished(); });
     ctx->rethrow_if_failed();
     return result_of();

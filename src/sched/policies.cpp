@@ -93,7 +93,10 @@ void ws_subtask::operator delete(void* p) noexcept {
   rt::block_pool::deallocate(p);
 }
 
-void ws_subtask::execute(rt::worker& w) { run_span(w, ctx_, lo_, hi_); }
+// A stolen eager subtask re-enters the adaptive path: if the thief's slot
+// is free the span turns lazy again (only the oversized/nested/opted-out
+// cases stay eager all the way down).
+void ws_subtask::execute(rt::worker& w) { range_span::run(w, ctx_, lo_, hi_); }
 
 void ws_subtask::run_span(rt::worker& w, const std::shared_ptr<loop_ctx>& ctx,
                           std::int64_t lo, std::int64_t hi) {
@@ -103,6 +106,88 @@ void ws_subtask::run_span(rt::worker& w, const std::shared_ptr<loop_ctx>& ctx,
     hi = mid;
   }
   ctx->run_chunk(w, lo, hi);
+}
+
+// ------------------------------------------------------------ range_span
+
+void range_span::owner_loop(rt::worker& w, loop_ctx* ctx, std::int64_t lo) {
+  rt::range_slot& slot = w.range();
+  std::uint64_t refills = 0;
+  std::int64_t cur = lo;
+  for (;;) {
+    // One RMW reserves the next max(grain, remaining/8) iterations; the
+    // chunks inside a reservation then run with no shared-word traffic at
+    // all (cancellation/deadline/drain still poll per chunk in run_chunk).
+    const std::int64_t res = slot.reserve(cur);
+    if (res <= cur) break;  // thieves consumed everything above cur
+    ++refills;
+    while (cur < res) {
+      const std::int64_t end = std::min(cur + ctx->grain, res);
+      ctx->run_chunk(w, cur, end);
+      cur = end;
+    }
+  }
+  // Nothing above can throw (run_chunk captures body exceptions), so the
+  // slot is always closed — and drained — before ctx may be rewritten or
+  // freed. Note the final reserve() only fails once the stealable region
+  // is empty, so no thief can split the span after its last chunk retires.
+  const bool split = slot.close();
+  telemetry::worker_state& tel = w.tel();
+  telemetry::bump(tel.counters.range_splits, refills);
+  if (!split) telemetry::bump(tel.counters.spans_unsplit);
+}
+
+void range_span::run_stolen(rt::worker& w, void* ctx_raw, std::int64_t lo,
+                            std::int64_t hi) {
+  auto* ctx = static_cast<loop_ctx*>(ctx_raw);
+  if (hi - lo <= ctx->grain) {
+    ctx->run_chunk(w, lo, hi);
+    return;
+  }
+  // Recursive splitting: the stolen range seeds the thief's own slot. A
+  // stolen range always fits kMaxSpan (it was carved from a fitting span).
+  if (!w.range().open(ctx, &range_span::run_stolen, lo, hi, ctx->grain)) {
+    // The thief's slot is busy: this steal ran inside an open span (e.g. a
+    // task_group wait nested in a chunk body). Run the range serially,
+    // chunk by chunk — rare, and exactly-once is preserved either way.
+    for (std::int64_t cur = lo; cur < hi; cur += ctx->grain) {
+      ctx->run_chunk(w, cur, std::min(cur + ctx->grain, hi));
+    }
+    return;
+  }
+  w.rt().notify_work();  // the new span's upper half is stealable
+  owner_loop(w, ctx, lo);
+}
+
+void range_span::run(rt::worker& w, const std::shared_ptr<loop_ctx>& ctx,
+                     std::int64_t lo, std::int64_t hi) {
+  if (lo >= hi) return;
+  if (ctx->eager_split) {
+    ws_subtask::run_span(w, ctx, lo, hi);
+    return;
+  }
+  // Bisect astronomically large spans eagerly until the offsets fit the
+  // slot's packed 32-bit fields; realistic loops never enter this.
+  while (hi - lo > rt::range_slot::kMaxSpan) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    w.push(new ws_subtask(ctx, mid, hi));
+    hi = mid;
+  }
+  if (hi - lo <= ctx->grain) {
+    ctx->run_chunk(w, lo, hi);
+    return;
+  }
+  if (!w.range().open(ctx.get(), &range_span::run_stolen, lo, hi,
+                      ctx->grain)) {
+    // Nested parallel loop inside a chunk body: the outer span still owns
+    // this worker's slot, so the inner loop splits eagerly.
+    ws_subtask::run_span(w, ctx, lo, hi);
+    return;
+  }
+  // Unlike the eager path (where every push wakes a thief), the span is
+  // the only published unit of work — advertise it once.
+  w.rt().notify_work();
+  owner_loop(w, ctx.get(), lo);
 }
 
 // ---------------------------------------------------------------- static
@@ -145,8 +230,11 @@ shared_queue_record::shared_queue_record(std::shared_ptr<loop_ctx> ctx,
 bool shared_queue_record::participate(rt::worker& w) {
   bool worked = false;
   // Stay on the queue until it drains, like an OpenMP thread inside a
-  // `schedule(dynamic)` region.
-  while (next_.load(std::memory_order_relaxed) < ctx_->end) {
+  // `schedule(dynamic)` region. The fetch_add result alone decides when
+  // to leave: the old loop condition re-read next_ with a relaxed load,
+  // a racy pre-check that could only disagree with the claiming fetch_add
+  // below and added nothing the claim does not already validate.
+  for (;;) {
     // Prompt stop: on cancellation/deadline/failure, swallow the whole
     // tail in one exchange instead of skipping chunk by chunk. The tail
     // [lo, end) is disjoint from every chunk claimed before the exchange,
@@ -164,12 +252,11 @@ bool shared_queue_record::participate(rt::worker& w) {
       return worked;
     }
     const std::int64_t lo = next_.fetch_add(chunk_, std::memory_order_acq_rel);
-    if (lo >= ctx_->end) break;
+    if (lo >= ctx_->end) return worked;
     const std::int64_t hi = std::min(lo + chunk_, ctx_->end);
     ctx_->run_chunk(w, lo, hi);
     worked = true;
   }
-  return worked;
 }
 
 // ----------------------------------------------------------------- guided
@@ -229,12 +316,15 @@ void hybrid_record::execute_partition(rt::worker& w, std::uint64_t r) {
   telemetry::worker_state& tel = w.tel();
   const bool timed = tel.events_on();
   const std::uint64_t t0 = timed ? tel.now() : 0;
-  // doWork (paper Alg. 3 lines 11/17): an ordinary divide-and-conquer
-  // parallel loop over the partition, so stragglers inside a partition are
-  // balanced by random stealing...
-  ws_subtask::run_span(w, ctx_, rg.begin, rg.end);
+  // doWork (paper Alg. 3 lines 11/17): a stealable parallel loop over the
+  // partition, so stragglers inside a partition are balanced by
+  // stealing — lazily split via the worker's range slot (thieves CAS off
+  // the upper half; nothing is allocated when no thief arrives)...
+  range_span::run(w, ctx_, rg.begin, rg.end);
   // ...while the claiming worker finishes its local share depth-first
   // before attempting the next claim, as continuation stealing would.
+  // (The drain only matters on the eager fallback paths; the lazy span
+  // pushes no subtasks.)
   w.drain_local();
   if (timed) {
     tel.emit({t0, tel.now() - t0, static_cast<std::int64_t>(r), 0,

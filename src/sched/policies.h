@@ -46,6 +46,11 @@ struct loop_ctx {
   std::exception_ptr first_error;
   std::mutex error_mu;
 
+  // Escape hatch (loop_options::eager_subtasks): route spans through the
+  // eager ws_subtask divide-and-conquer path instead of the lazy range
+  // slot. Set once by parallel_for before the loop is published.
+  bool eager_split = false;
+
   // Cancellation/deadline state, set by parallel_for before the loop is
   // published. `cancel` borrows loop_options::cancel's flag (the options
   // outlive the blocking call); deadline_at_ns is an absolute
@@ -118,6 +123,33 @@ class ws_subtask final : public rt::task {
   std::shared_ptr<loop_ctx> ctx_;
   std::int64_t lo_;
   std::int64_t hi_;
+};
+
+// Lazy steal-driven range splitting: the default span execution path for
+// dynamic_ws and hybrid partitions. The owner publishes the span in its
+// worker's range_slot (runtime/range_slot.h) and consumes it in
+// grain-sized chunks with zero allocations and zero shared_ptr traffic;
+// thieves split off the upper half via the slot's CAS and seed their own
+// slots recursively, so the divide-and-conquer span bound is preserved
+// while the no-steal fast path costs two shared stores per span total.
+// Falls back to ws_subtask when the loop opted out (eager_split), when the
+// slot is already busy (a nested loop inside a chunk body), or — for the
+// oversized prefix only — when the span exceeds range_slot::kMaxSpan.
+class range_span {
+ public:
+  static void run(rt::worker& w, const std::shared_ptr<loop_ctx>& ctx,
+                  std::int64_t lo, std::int64_t hi);
+
+ private:
+  // range_slot::span_runner thunk: executes a stolen range on the thief.
+  // No shared_ptr is taken: the stolen iterations are unretired, so the
+  // loop cannot join — and ctx cannot die — before run_chunk retires them.
+  static void run_stolen(rt::worker& w, void* ctx, std::int64_t lo,
+                         std::int64_t hi);
+
+  // Owner reserve/execute loop over an already-open slot, plus close and
+  // counter rollup.
+  static void owner_loop(rt::worker& w, loop_ctx* ctx, std::int64_t lo);
 };
 
 // Strict static partitioning: block k is executed serially by worker k and

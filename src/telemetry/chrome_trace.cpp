@@ -161,6 +161,10 @@ std::size_t write_worker_events(chrome_trace_writer& w, registry& reg) {
         w.add_instant(kWorkerPid, tid, "steal", e.ts_ns,
                       "\"victim\":" + i64(e.a) + ",\"probes\":" + i64(e.b));
         break;
+      case event_kind::range_steal:
+        w.add_instant(kWorkerPid, tid, "range-steal", e.ts_ns,
+                      "\"victim\":" + i64(e.a) + ",\"iters\":" + i64(e.b));
+        break;
     }
   }
   return evs.size();
@@ -174,11 +178,21 @@ std::size_t append_loop_trace(chrome_trace_writer& w,
     w.add_thread_name(kLoopTracePid, static_cast<int>(i),
                       "worker " + std::to_string(i));
   }
+  // Foreign-thread chunks (loop_trace::kForeignLane) render on their own
+  // named track just past the worker tids; the sentinel itself would be
+  // an absurd tid and must not alias worker 0.
+  const int foreign_tid = static_cast<int>(lt.num_workers());
+  if (!lt.foreign_chunks().empty()) {
+    w.add_thread_name(kLoopTracePid, foreign_tid, "foreign");
+  }
   std::size_t n = 0;
   // One span per recorded chunk, laid out on the global execution
   // sequence axis (1 "us" per chunk) so claim order reads left to right.
   for (const trace::chunk_rec& c : lt.sorted_by_seq()) {
-    w.add_complete(kLoopTracePid, static_cast<int>(c.worker),
+    w.add_complete(kLoopTracePid,
+                   c.worker == trace::loop_trace::kForeignLane
+                       ? foreign_tid
+                       : static_cast<int>(c.worker),
                    "[" + std::to_string(c.begin) + "," +
                        std::to_string(c.end) + ")",
                    c.seq * 1000, 1000,

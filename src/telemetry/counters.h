@@ -38,6 +38,12 @@
   X(batch_steal_tasks, "tasks transferred by batched steals")            \
   X(affinity_hits, "steals won on an affinity probe (last victim "       \
                    "or board poster)")                                   \
+  X(range_steals, "successful range-slot steals (upper half of a "      \
+                  "published span)")                                     \
+  X(range_splits, "owner reservation refills on open range slots "      \
+                  "(the lazy path's shared-word traffic)")               \
+  X(spans_unsplit, "published spans that completed without a single "   \
+                   "steal (the zero-overhead fast path)")                \
   X(cancelled_chunks, "chunks skipped by cancellation/deadline/drain")   \
   X(exceptions_caught, "exceptions captured at task/chunk boundaries")   \
   X(faults_injected, "faults injected by the chaos layer (faultsim)")    \

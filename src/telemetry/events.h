@@ -29,6 +29,7 @@ enum class event_kind : std::uint8_t {
   claim_ok,        // successful hybrid claim          a=r        b=index
   claim_fail,      // failed hybrid claim              a=r        b=index
   steal,           // successful deque steal           a=victim   b=probes
+  range_steal,     // successful range-slot steal      a=victim   b=iters
 };
 
 struct event {

@@ -10,6 +10,13 @@ loop_trace::loop_trace(std::uint32_t num_workers)
 void loop_trace::record(std::uint32_t worker, std::int64_t begin,
                         std::int64_t end) {
   const std::uint64_t s = seq_.fetch_add(1, std::memory_order_relaxed);
+  if (worker == kForeignLane) {
+    // Foreign threads have no per-worker buffer of their own and may run
+    // concurrently with each other, hence the lock (off the worker path).
+    std::lock_guard<std::mutex> lk(foreign_mu_);
+    foreign_.push_back(chunk_rec{begin, end, kForeignLane, s});
+    return;
+  }
   per_worker_[worker].push_back(chunk_rec{begin, end, worker, s});
 }
 
@@ -19,6 +26,7 @@ std::vector<chunk_rec> loop_trace::sorted_by_seq() const {
   for (const auto& buf : per_worker_) {
     all.insert(all.end(), buf.begin(), buf.end());
   }
+  all.insert(all.end(), foreign_.begin(), foreign_.end());
   std::sort(all.begin(), all.end(),
             [](const chunk_rec& a, const chunk_rec& b) { return a.seq < b.seq; });
   return all;
@@ -28,7 +36,7 @@ std::vector<std::uint32_t> loop_trace::iteration_owners(
     std::int64_t begin, std::int64_t end) const {
   std::vector<std::uint32_t> owners(
       static_cast<std::size_t>(end > begin ? end - begin : 0), kNoOwner);
-  for (const auto& buf : per_worker_) {
+  const auto apply = [&](const std::vector<chunk_rec>& buf) {
     for (const auto& c : buf) {
       const std::int64_t lo = std::max(c.begin, begin);
       const std::int64_t hi = std::min(c.end, end);
@@ -36,7 +44,9 @@ std::vector<std::uint32_t> loop_trace::iteration_owners(
         owners[static_cast<std::size_t>(i - begin)] = c.worker;
       }
     }
-  }
+  };
+  for (const auto& buf : per_worker_) apply(buf);
+  apply(foreign_);
   return owners;
 }
 
@@ -45,17 +55,19 @@ std::int64_t loop_trace::total_iterations() const {
   for (const auto& buf : per_worker_) {
     for (const auto& c : buf) total += c.end - c.begin;
   }
+  for (const auto& c : foreign_) total += c.end - c.begin;
   return total;
 }
 
 std::size_t loop_trace::chunk_count() const {
   std::size_t n = 0;
   for (const auto& buf : per_worker_) n += buf.size();
-  return n;
+  return n + foreign_.size();
 }
 
 void loop_trace::clear() {
   for (auto& buf : per_worker_) buf.clear();
+  foreign_.clear();
   seq_.store(0, std::memory_order_relaxed);
 }
 

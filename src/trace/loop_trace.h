@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 namespace hls::trace {
@@ -23,7 +24,15 @@ class loop_trace {
  public:
   explicit loop_trace(std::uint32_t num_workers);
 
-  // Thread-safe for concurrent calls from distinct workers.
+  // Sentinel lane id for chunks executed by a thread not bound to the
+  // runtime (parallel_for's serial foreign-thread degrade). Distinct from
+  // kNoOwner, and never a valid worker id: recording foreign chunks as
+  // worker 0 would collide with the real worker 0 in merged traces.
+  static constexpr std::uint32_t kForeignLane = 0xfffffffeu;
+
+  // Thread-safe for concurrent calls from distinct workers. kForeignLane
+  // records go to a dedicated mutex-guarded lane, so any number of
+  // concurrent foreign threads may record too.
   void record(std::uint32_t worker, std::int64_t begin, std::int64_t end);
 
   std::uint32_t num_workers() const noexcept {
@@ -33,6 +42,10 @@ class loop_trace {
   const std::vector<chunk_rec>& of_worker(std::uint32_t w) const {
     return per_worker_[w];
   }
+
+  // Chunks recorded under kForeignLane (worker field == kForeignLane).
+  // Like of_worker, only safe to read once recording threads are done.
+  const std::vector<chunk_rec>& foreign_chunks() const { return foreign_; }
 
   // All chunks, ordered by global execution sequence.
   std::vector<chunk_rec> sorted_by_seq() const;
@@ -53,6 +66,8 @@ class loop_trace {
 
  private:
   std::vector<std::vector<chunk_rec>> per_worker_;
+  std::vector<chunk_rec> foreign_;  // guarded by foreign_mu_
+  std::mutex foreign_mu_;
   std::atomic<std::uint64_t> seq_{0};
 };
 

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "trace/loop_trace.h"
@@ -165,6 +166,32 @@ TEST(LoopOptions, ExplicitGrainRespectedByTraceChunkSizes) {
     EXPECT_LE(c.end - c.begin, 16);
   }
   EXPECT_EQ(tr.total_iterations(), 256);
+}
+
+TEST(LoopOptions, ForeignThreadRecordsOnForeignTraceLane) {
+  rt::runtime rt(2);
+  trace::loop_trace tr(rt.num_workers());
+  loop_options opt;
+  opt.grain = 16;
+  opt.trace = &tr;
+  std::atomic<std::int64_t> sum{0};
+  // A thread not bound to the runtime degrades to serial execution; its
+  // chunks must land on the foreign lane, never on worker 0's.
+  std::thread outsider([&] {
+    parallel_for(rt, 0, 256, policy::dynamic_ws,
+                 [&](std::int64_t lo, std::int64_t hi) {
+                   sum.fetch_add(hi - lo, std::memory_order_relaxed);
+                 },
+                 opt);
+  });
+  outsider.join();
+  EXPECT_EQ(sum.load(), 256);
+  EXPECT_EQ(tr.total_iterations(), 256);
+  EXPECT_EQ(tr.of_worker(0).size(), 0u);
+  EXPECT_GT(tr.foreign_chunks().size(), 0u);
+  for (const auto& c : tr.foreign_chunks()) {
+    EXPECT_EQ(c.worker, trace::loop_trace::kForeignLane);
+  }
 }
 
 TEST(LoopOptions, SharedQueueChunkSizeRespected) {

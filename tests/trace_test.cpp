@@ -71,6 +71,31 @@ TEST(LoopTrace, ClearResets) {
   EXPECT_EQ(t.sorted_by_seq()[0].seq, 0u);
 }
 
+TEST(LoopTrace, ForeignLaneDoesNotAliasWorkerZero) {
+  loop_trace t(2);
+  t.record(0, 0, 10);
+  t.record(loop_trace::kForeignLane, 10, 20);
+  t.record(1, 20, 30);
+  // Foreign chunks live in their own lane, not worker 0's buffer.
+  EXPECT_EQ(t.of_worker(0).size(), 1u);
+  EXPECT_EQ(t.of_worker(1).size(), 1u);
+  ASSERT_EQ(t.foreign_chunks().size(), 1u);
+  EXPECT_EQ(t.foreign_chunks()[0].worker, loop_trace::kForeignLane);
+  // They still participate in the merged views.
+  EXPECT_EQ(t.chunk_count(), 3u);
+  EXPECT_EQ(t.total_iterations(), 30);
+  const auto all = t.sorted_by_seq();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[1].worker, loop_trace::kForeignLane);
+  const auto owners = t.iteration_owners(0, 30);
+  EXPECT_EQ(owners[5], 0u);
+  EXPECT_EQ(owners[15], loop_trace::kForeignLane);
+  EXPECT_EQ(owners[25], 1u);
+  t.clear();
+  EXPECT_EQ(t.foreign_chunks().size(), 0u);
+  EXPECT_EQ(t.chunk_count(), 0u);
+}
+
 TEST(Affinity, IdenticalOwnersGiveOne) {
   const std::vector<std::uint32_t> a{0, 1, 2, 3};
   EXPECT_DOUBLE_EQ(same_owner_fraction(a, a), 1.0);
