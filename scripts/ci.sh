@@ -7,7 +7,67 @@ cd "$(dirname "$0")/.."
 
 cmake -B build -G Ninja
 cmake --build build
+
+# Static analysis: clang-tidy over every TU in src/ against the exported
+# compile_commands.json (config at .clang-tidy; every finding is an
+# error). Gated on availability — hosts without clang-tidy skip with a
+# notice rather than silently passing a broken config.
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy"
+  git ls-files '*.cpp' | grep '^src/' | xargs clang-tidy -p build --quiet
+else
+  echo "== clang-tidy: not installed, skipping static-analysis step"
+fi
+
 ctest --test-dir build --output-on-failure
+
+# Deterministic model checking (docs/verification.md): bounded-exhaustive
+# sweeps of the four shipping protocol cores, then the three
+# seeded-broken variants, whose DETECTION is the pass (hls_verify inverts
+# the exit code for models marked expect-failure). The ctest pass above
+# already ran verify_test/claim_interleaving_test; this sweep exercises
+# the CLI path and archives the counters. HLS_VERIFY_DEEP=1 raises depths
+# to the full-depth sweep (~30 s instead of ~2 s).
+echo "== verify (deterministic model checking)"
+if [ "${HLS_VERIFY_DEEP:-0}" = "1" ]; then
+  verify_runs=(
+    "--model=claim --workers=3 --partitions=4 --bound=-1"
+    "--model=claim --workers=4 --partitions=8 --bound=3"
+    "--model=claim --workers=8 --partitions=32 --mode=random --iters=20000"
+    "--model=deque --bound=5"
+    "--model=range_slot --bound=5"
+    "--model=parking --bound=-1"
+    "--model=deque-broken-nogenbump --bound=3"
+    "--model=range_slot-broken-nodrain --bound=3"
+    "--model=parking-broken-norecheck --bound=3"
+  )
+else
+  verify_runs=(
+    "--model=claim --workers=3 --partitions=4 --bound=-1"
+    "--model=claim --workers=4 --partitions=8 --bound=2"
+    "--model=deque --bound=3"
+    "--model=range_slot --bound=3"
+    "--model=parking --bound=3"
+    "--model=deque-broken-nogenbump --bound=3"
+    "--model=range_slot-broken-nodrain --bound=3"
+    "--model=parking-broken-norecheck --bound=3"
+  )
+fi
+: > build/VERIFY_summary.txt
+for run in "${verify_runs[@]}"; do
+  # shellcheck disable=SC2086  # intentional word-splitting of the flags
+  build/src/hls_verify $run | tee -a build/VERIFY_summary.txt
+done
+grep '^model=' build/VERIFY_summary.txt | awk '
+  { for (i = 1; i <= NF; ++i) {
+      if (split($i, kv, "=") == 2) {
+        if (kv[1] == "verify_states_explored") states += kv[2]
+        if (kv[1] == "verify_preemptions")     preempts += kv[2]
+        if (kv[1] == "executions")             execs += kv[2]
+      } } }
+  END { printf "verify summary: models=%d executions=%d " \
+               "verify_states_explored=%d verify_preemptions=%d\n", \
+               NR, execs, states, preempts }'
 
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] && "$b"

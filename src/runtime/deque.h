@@ -1,95 +1,23 @@
-// Chase-Lev work-stealing deque (dynamic circular array variant).
+// Shipping instantiation of the Chase-Lev work-stealing deque.
 //
-// The owning worker pushes and pops at the bottom; thieves steal from the
-// top. Lock-free; the only synchronizing CAS is between a thief and either
-// another thief or the owner taking the last element. Memory orders follow
-// Le, Pop, Cohen, Zappa Nardelli, "Correct and Efficient Work-Stealing for
-// Weak Memory Models" (PPoPP'13).
+// The protocol itself lives in runtime/deque_core.h as a template over the
+// synchronization traits (verify/sync.h), so that the EXACT code the
+// runtime executes is also what the hls_verify model-checking harness
+// explores. This header pins the template to task* elements and the real
+// std::atomic-backed traits; the instantiation compiles to the same code
+// the pre-template hand-written class produced.
 #pragma once
 
-#include <atomic>
-#include <cstdint>
-#include <memory>
-#include <vector>
-
-#include "util/cacheline.h"
+#include "runtime/deque_core.h"
+#include "verify/sync.h"
 
 namespace hls::rt {
 
 class task;
 
-class ws_deque {
+class ws_deque : public ws_deque_core<task*, sync::real_traits> {
  public:
-  // Upper bound on tasks transferred by one steal_batch. Also the width of
-  // the owner's "contended" window: pop() takes the bottom slot without a
-  // CAS only while more than kStealBatchMax elements remain, since a batch
-  // thief can claim at most kStealBatchMax slots from the top in one CAS
-  // (see pop()/steal_batch() for the disjointness argument).
-  static constexpr std::int64_t kStealBatchMax = 8;
-
-  explicit ws_deque(std::size_t initial_capacity = 1u << 10);
-  ~ws_deque();
-
-  ws_deque(const ws_deque&) = delete;
-  ws_deque& operator=(const ws_deque&) = delete;
-
-  // Owner only. Grows the array when full.
-  void push(task* t);
-
-  // Owner only. Returns nullptr when empty.
-  task* pop();
-
-  // Any thread. Returns nullptr when empty or when the steal races and
-  // loses (the caller treats both as a failed steal attempt).
-  task* steal();
-
-  // Thief only; `into` must be the calling thread's OWN deque (extra tasks
-  // are pushed onto it under the owner contract). Claims up to half of the
-  // visible tasks — capped at kStealBatchMax — with a single top_ CAS;
-  // returns the oldest claimed task for immediate execution and deposits
-  // the remaining `*transferred - 1` into `into` in victim (FIFO) order.
-  // Returns nullptr (with *transferred == 0) when empty or the CAS loses.
-  task* steal_batch(ws_deque& into, std::uint32_t* transferred);
-
-  // Racy size estimate; used only for victim-selection heuristics.
-  std::int64_t size_estimate() const noexcept;
-
-  // Test-only seam: when set, invoked inside steal_batch between the slot
-  // reads and the claim CAS, letting interleaving tests hold a prepared
-  // claim in flight while the owner runs (see the locked-pop ABA
-  // regression test). Costs one relaxed load + predicted-not-taken branch
-  // per batch probe; never set outside tests. Pass nullptr to clear.
-  using batch_claim_gate_fn = void (*)(void* ctx);
-  static void set_batch_claim_gate(batch_claim_gate_fn fn,
-                                   void* ctx) noexcept;
-
- private:
-  struct ring {
-    explicit ring(std::size_t cap)
-        : capacity(cap), mask(cap - 1), slots(new std::atomic<task*>[cap]) {}
-    std::size_t capacity;
-    std::size_t mask;
-    std::unique_ptr<std::atomic<task*>[]> slots;
-
-    task* get(std::int64_t i, std::memory_order mo) const noexcept {
-      return slots[static_cast<std::size_t>(i) & mask].load(mo);
-    }
-    void put(std::int64_t i, task* t, std::memory_order mo) noexcept {
-      slots[static_cast<std::size_t>(i) & mask].store(t, mo);
-    }
-  };
-
-  ring* grow(ring* old, std::int64_t bottom, std::int64_t top);
-
-  // Packed word, not a bare index: | lock (1) | generation (23) | index
-  // (40) |. The generation is bumped by every locked-pop unlock so the raw
-  // value never repeats, which is what makes a thief's claim CAS safe
-  // against owner pops (see the encoding block in deque.cpp for the full
-  // ABA argument and the size bounds).
-  alignas(kCacheLine) std::atomic<std::uint64_t> top_{0};
-  alignas(kCacheLine) std::atomic<std::int64_t> bottom_{0};
-  alignas(kCacheLine) std::atomic<ring*> ring_;
-  std::vector<std::unique_ptr<ring>> retired_;  // owner-only; freed at dtor
+  using ws_deque_core<task*, sync::real_traits>::ws_deque_core;
 };
 
 }  // namespace hls::rt

@@ -2,142 +2,10 @@
 
 namespace hls::rt {
 
-parking_lot::parking_lot(std::uint32_t num_slots)
-    : n_(num_slots == 0 ? 1 : num_slots), slots_(new slot[n_]) {}
-
-std::uint32_t parking_lot::prepare_park(std::uint32_t w) noexcept {
-  slot& s = slots_[w];
-  const std::uint32_t ticket = s.epoch.load(std::memory_order_relaxed);
-  s.state.store(kPending, std::memory_order_relaxed);
-  waiters_.fetch_add(1, std::memory_order_relaxed);
-  // Dekker, waiter side: the waiter announcement above must be ordered
-  // before the caller's work re-check. Pairs with the seq_cst fence in
-  // unpark_one/unpark_all (work publication before the waiter scan).
-  std::atomic_thread_fence(std::memory_order_seq_cst);
-  return ticket;
-}
-
-void parking_lot::cancel_park(std::uint32_t w) noexcept {
-  slot& s = slots_[w];
-  {
-    // Under the slot mutex: an unpark_one racing with this cancel may have
-    // just targeted the slot (epoch bumped, wake_pending set). Consuming
-    // the flag here — with the state transition in the same critical
-    // section — keeps the invariant that wake_pending tracks exactly one
-    // undelivered wake, and closes the race where the notifier reads a
-    // half-cancelled slot.
-    std::lock_guard<std::mutex> lg(s.mu);
-    s.state.store(kActive, std::memory_order_relaxed);
-    s.wake_pending = false;
-  }
-  waiters_.fetch_sub(1, std::memory_order_release);
-}
-
-parking_lot::park_result parking_lot::park(std::uint32_t w,
-                                           std::uint32_t ticket,
-                                           std::chrono::nanoseconds backstop) {
-  slot& s = slots_[w];
-  park_result res;
-  std::unique_lock<std::mutex> lk(s.mu);
-  if (stop_.load(std::memory_order_acquire)) {
-    res.reason = wake_reason::stop;
-  } else if (s.epoch.load(std::memory_order_relaxed) != ticket) {
-    // A wake landed between prepare_park and here; consume it without
-    // blocking. The caller re-checks for work either way.
-    res.reason = wake_reason::notified;
-  } else {
-    s.state.store(kParked, std::memory_order_relaxed);
-    s.cv.wait_for(lk, backstop, [&] {
-      return s.epoch.load(std::memory_order_relaxed) != ticket ||
-             stop_.load(std::memory_order_relaxed);
-    });
-    res.waited = true;
-    if (stop_.load(std::memory_order_relaxed)) {
-      res.reason = wake_reason::stop;
-    } else if (s.epoch.load(std::memory_order_relaxed) != ticket) {
-      res.reason = wake_reason::notified;
-    } else {
-      res.reason = wake_reason::timeout;
-    }
-  }
-  s.state.store(kActive, std::memory_order_relaxed);
-  // Any wake aimed at this park cycle is consumed by the return below
-  // (notified) or can no longer be delivered (timeout/stop with the state
-  // now active), so the slot is again eligible for fresh wakes.
-  s.wake_pending = false;
-  lk.unlock();
-  waiters_.fetch_sub(1, std::memory_order_release);
-  return res;
-}
-
-bool parking_lot::unpark_one() noexcept {
-  // Dekker, notifier side: the caller's work publication (deque bottom_
-  // store, board ptr store — possibly relaxed) must be ordered before the
-  // waiter scan below. Pairs with the fence in prepare_park.
-  std::atomic_thread_fence(std::memory_order_seq_cst);
-  if (waiters_.load(std::memory_order_relaxed) == 0) return false;
-  // Round-robin start so repeated single wakes fan out over workers
-  // instead of hammering slot 0.
-  const std::uint32_t start = rotor_.fetch_add(1, std::memory_order_relaxed);
-  for (std::uint32_t i = 0; i < n_; ++i) {
-    slot& s = slots_[(start + i) % n_];
-    if (s.state.load(std::memory_order_acquire) == kActive) continue;
-    bool signalled = false;
-    {
-      std::lock_guard<std::mutex> lg(s.mu);
-      // Re-check under the lock: the worker may have cancelled or finished
-      // parking since the scan (bumping an active slot would waste the
-      // wake), and a slot whose previous wake is still unconsumed is
-      // skipped too — bumping it again would merge two wakes into one
-      // delivered signal, degrading a burst of posts to backstop latency
-      // and overcounting wakes_sent. Keep scanning for a waiter that can
-      // still consume a fresh wake.
-      if (s.state.load(std::memory_order_relaxed) != kActive &&
-          !s.wake_pending) {
-        s.epoch.fetch_add(1, std::memory_order_relaxed);
-        s.wake_pending = true;
-        signalled = true;
-      }
-    }
-    if (signalled) {
-      s.cv.notify_one();
-      return true;
-    }
-  }
-  return false;
-}
-
-void parking_lot::unpark_all() noexcept {
-  std::atomic_thread_fence(std::memory_order_seq_cst);
-  if (waiters_.load(std::memory_order_relaxed) == 0) return;
-  for (std::uint32_t w = 0; w < n_; ++w) {
-    slot& s = slots_[w];
-    if (s.state.load(std::memory_order_acquire) == kActive) continue;
-    bool signalled = false;
-    {
-      std::lock_guard<std::mutex> lg(s.mu);
-      if (s.state.load(std::memory_order_relaxed) != kActive) {
-        // A broadcast wakes everyone, so an already-pending slot is bumped
-        // again rather than skipped; the waiter consumes both as one.
-        s.epoch.fetch_add(1, std::memory_order_relaxed);
-        s.wake_pending = true;
-        signalled = true;
-      }
-    }
-    if (signalled) s.cv.notify_one();
-  }
-}
-
-void parking_lot::request_stop() noexcept {
-  stop_.store(true, std::memory_order_seq_cst);
-  for (std::uint32_t w = 0; w < n_; ++w) {
-    slot& s = slots_[w];
-    // Lock/unlock closes the race with a waiter between its predicate
-    // check and the wait; notify outside the lock avoids a pointless
-    // wake-then-block on the mutex.
-    { std::lock_guard<std::mutex> lg(s.mu); }
-    s.cv.notify_all();
-  }
-}
+// Instantiate the full shipping lot here so template breakage is caught
+// when this library builds, not first in a downstream target. (The class
+// itself is header-only; see runtime/parking_core.h for the protocol and
+// the lost-wakeup handshake.)
+template class parking_lot_core<sync::real_traits>;
 
 }  // namespace hls::rt

@@ -1,48 +1,17 @@
-// Per-worker parking: targeted sleep/wake for idle workers.
+// Shipping instantiation of the per-worker parking lot.
 //
-// Replaces the runtime's old global sleep mutex + condvar (where every
-// notify_work() took the lock and notify_all()'d every sleeper, and
-// sleepers polled on a 200us timed wait) with one parking slot per worker.
-// A wakeup is now one epoch bump + one notify_one on a single slot, so a
-// task posted to an all-idle runtime wakes exactly one worker instead of a
-// thundering herd, and a parked worker is woken in wake-latency time
-// instead of at the next poll tick.
-//
-// The park protocol is split in two phases so callers can close the
-// classic lost-wakeup race (check-then-park):
-//
-//   ticket = lot.prepare_park(w);        // 1. announce: waiter visible
-//   if (work became visible) {           // 2. re-check AFTER announcing
-//     lot.cancel_park(w);                //    never blocks
-//   } else {
-//     lot.park(w, ticket, backstop);     // 3. block until unpark/stop
-//   }
-//
-// Correctness of the handshake: prepare_park publishes the waiter with
-// seq_cst ordering (store + fence) before the caller's work re-check, and
-// an unparker orders its work publication before the waiter scan with the
-// matching seq_cst fence. For any notify racing with the idle transition,
-// either the notifier observes the waiter (and bumps its epoch, making a
-// subsequent park() return without blocking), or the waiter's re-check
-// observes the notifier's work (Dekker via the two fences). The epoch is
-// read as a ticket in prepare_park and re-validated under the slot lock in
-// park(), so a wake delivered between the two phases is consumed, never
-// lost.
-//
-// The backstop timeout passed to park() is a safety net, not a poll: every
-// work-publication path wakes parked workers explicitly, and the timeout
-// only fires on paths with no tracked edge. Timeouts are reported
-// distinctly so callers can count them.
+// The announce/check/park/unpark protocol lives in runtime/parking_core.h
+// as a template over the synchronization traits (verify/sync.h), so the
+// EXACT code the runtime executes is also what the hls_verify
+// model-checking harness explores. This header pins the template to the
+// real std::atomic / annotated_mutex traits and keeps the park_predicate
+// helper the idle path threads through the check-then-park re-check.
 #pragma once
 
-#include <atomic>
-#include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <memory>
-#include <mutex>
 
-#include "util/cacheline.h"
+#include "runtime/parking_core.h"
+#include "verify/sync.h"
 
 namespace hls::rt {
 
@@ -70,89 +39,9 @@ class park_predicate {
   const void* ctx_ = nullptr;
 };
 
-class parking_lot {
+class parking_lot : public parking_lot_core<sync::real_traits> {
  public:
-  enum class wake_reason : std::uint8_t {
-    notified,  // an unpark targeted this slot
-    timeout,   // the backstop elapsed with no wake
-    stop,      // request_stop() was observed
-  };
-
-  struct park_result {
-    wake_reason reason = wake_reason::notified;
-    // True only when park() actually blocked. An immediate return (wake
-    // already consumed, or stopping) must not be accounted as a sleep.
-    bool waited = false;
-  };
-
-  explicit parking_lot(std::uint32_t num_slots);
-
-  parking_lot(const parking_lot&) = delete;
-  parking_lot& operator=(const parking_lot&) = delete;
-
-  std::uint32_t num_slots() const noexcept { return n_; }
-
-  // Phase 1: announce intent to park. Publishes slot w as a waiter
-  // (seq_cst) and returns the epoch ticket to pass to park(). The caller
-  // must follow with exactly one cancel_park(w) or park(w, ...).
-  std::uint32_t prepare_park(std::uint32_t w) noexcept;
-
-  // Aborts between prepare_park and park (the re-check found work).
-  void cancel_park(std::uint32_t w) noexcept;
-
-  // Phase 2: blocks until the slot's epoch moves past `ticket` (an unpark
-  // arrived), request_stop() is observed, or `backstop` elapses. Returns
-  // immediately (waited == false) when a wake already landed between
-  // prepare_park and this call, or when stopping.
-  park_result park(std::uint32_t w, std::uint32_t ticket,
-                   std::chrono::nanoseconds backstop);
-
-  // Wakes exactly one announced waiter (round-robin over slots). Returns
-  // true when a waiter was signalled; false when none was visible. Fast
-  // path with no waiters is one fence + one load, no lock. A slot that
-  // already holds an unconsumed wake is skipped in favour of a different
-  // waiter — two unparks never merge into one delivered signal.
-  bool unpark_one() noexcept;
-
-  // Wakes every announced waiter (loop completion, join edges, shutdown).
-  void unpark_all() noexcept;
-
-  // Latches stop and wakes everyone; park() calls return wake_reason::stop
-  // from then on.
-  void request_stop() noexcept;
-
-  bool stop_requested() const noexcept {
-    return stop_.load(std::memory_order_acquire);
-  }
-
-  // Racy count of announced waiters (pending + parked); for telemetry and
-  // notify fast paths only.
-  std::uint32_t waiters() const noexcept {
-    return waiters_.load(std::memory_order_relaxed);
-  }
-
- private:
-  enum : std::uint8_t { kActive = 0, kPending = 1, kParked = 2 };
-
-  // One slot per worker, padded so parking traffic on one worker never
-  // false-shares with its neighbours.
-  struct alignas(kCacheLine) slot {
-    std::atomic<std::uint32_t> epoch{0};
-    std::atomic<std::uint8_t> state{kActive};
-    std::mutex mu;
-    std::condition_variable cv;
-    // Guarded by mu: true while an unpark has bumped the epoch but the
-    // owning worker has not yet consumed the wake (in park or cancel_park).
-    // unpark_one skips such slots so a burst of wakes fans out to distinct
-    // waiters instead of collapsing onto one.
-    bool wake_pending = false;
-  };
-
-  std::uint32_t n_;
-  std::unique_ptr<slot[]> slots_;
-  alignas(kCacheLine) std::atomic<std::uint32_t> waiters_{0};
-  alignas(kCacheLine) std::atomic<std::uint32_t> rotor_{0};
-  std::atomic<bool> stop_{false};
+  using parking_lot_core<sync::real_traits>::parking_lot_core;
 };
 
 }  // namespace hls::rt

@@ -1,0 +1,276 @@
+// Per-worker parking: targeted sleep/wake for idle workers — the protocol
+// core, as a header template.
+//
+// Replaces the runtime's old global sleep mutex + condvar (where every
+// notify_work() took the lock and notify_all()'d every sleeper, and
+// sleepers polled on a 200us timed wait) with one parking slot per worker.
+// A wakeup is now one epoch bump + one notify_one on a single slot, so a
+// task posted to an all-idle runtime wakes exactly one worker instead of a
+// thundering herd, and a parked worker is woken in wake-latency time
+// instead of at the next poll tick.
+//
+// The park protocol is split in two phases so callers can close the
+// classic lost-wakeup race (check-then-park):
+//
+//   ticket = lot.prepare_park(w);        // 1. announce: waiter visible
+//   if (work became visible) {           // 2. re-check AFTER announcing
+//     lot.cancel_park(w);                //    never blocks
+//   } else {
+//     lot.park(w, ticket, backstop);     // 3. block until unpark/stop
+//   }
+//
+// Correctness of the handshake: prepare_park publishes the waiter with
+// seq_cst ordering (store + fence) before the caller's work re-check, and
+// an unparker orders its work publication before the waiter scan with the
+// matching seq_cst fence. For any notify racing with the idle transition,
+// either the notifier observes the waiter (and bumps its epoch, making a
+// subsequent park() return without blocking), or the waiter's re-check
+// observes the notifier's work (Dekker via the two fences). The epoch is
+// read as a ticket in prepare_park and re-validated under the slot lock in
+// park(), so a wake delivered between the two phases is consumed, never
+// lost.
+//
+// The backstop timeout passed to park() is a safety net, not a poll: every
+// work-publication path wakes parked workers explicitly, and the timeout
+// only fires on paths with no tracked edge. Timeouts are reported
+// distinctly so callers can count them.
+//
+// The template is parameterized over the synchronization traits
+// (verify/sync.h): std::atomic / annotated_mutex / condition_variable in
+// shipping builds, the instrumented verify shim under the model-checking
+// harness — where the condvar wait is untimed, so a worker that parks with
+// no tracked wake edge surfaces as a deadlock ("lost wakeup") instead of
+// being silently rescued by the backstop.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "util/cacheline.h"
+#include "util/thread_safety.h"
+
+namespace hls::rt {
+
+template <typename Traits>
+class parking_lot_core {
+  template <typename U>
+  using atomic_t = typename Traits::template atomic<U>;
+  using mutex_t = typename Traits::mutex;
+  using condvar_t = typename Traits::condvar;
+
+ public:
+  enum class wake_reason : std::uint8_t {
+    notified,  // an unpark targeted this slot
+    timeout,   // the backstop elapsed with no wake
+    stop,      // request_stop() was observed
+  };
+
+  struct park_result {
+    wake_reason reason = wake_reason::notified;
+    // True only when park() actually blocked. An immediate return (wake
+    // already consumed, or stopping) must not be accounted as a sleep.
+    bool waited = false;
+  };
+
+  explicit parking_lot_core(std::uint32_t num_slots)
+      : n_(num_slots == 0 ? 1 : num_slots), slots_(new slot[n_]) {}
+
+  parking_lot_core(const parking_lot_core&) = delete;
+  parking_lot_core& operator=(const parking_lot_core&) = delete;
+
+  std::uint32_t num_slots() const noexcept { return n_; }
+
+  // Phase 1: announce intent to park. Publishes slot w as a waiter
+  // (seq_cst) and returns the epoch ticket to pass to park(). The caller
+  // must follow with exactly one cancel_park(w) or park(w, ...).
+  std::uint32_t prepare_park(std::uint32_t w) noexcept {
+    slot& s = slots_[w];
+    const std::uint32_t ticket = s.epoch.load(std::memory_order_relaxed);
+    s.state.store(kPending, std::memory_order_relaxed);
+    waiters_.fetch_add(1, std::memory_order_relaxed);
+    // Dekker, waiter side: the waiter announcement above must be ordered
+    // before the caller's work re-check. Pairs with the seq_cst fence in
+    // unpark_one/unpark_all (work publication before the waiter scan).
+    Traits::fence(std::memory_order_seq_cst);
+    return ticket;
+  }
+
+  // Aborts between prepare_park and park (the re-check found work).
+  void cancel_park(std::uint32_t w) noexcept {
+    slot& s = slots_[w];
+    {
+      // Under the slot mutex: an unpark_one racing with this cancel may
+      // have just targeted the slot (epoch bumped, wake_pending set).
+      // Consuming the flag here — with the state transition in the same
+      // critical section — keeps the invariant that wake_pending tracks
+      // exactly one undelivered wake, and closes the race where the
+      // notifier reads a half-cancelled slot.
+      hls::scoped_lock<mutex_t> lg(s.mu);
+      s.state.store(kActive, std::memory_order_relaxed);
+      s.wake_pending = false;
+    }
+    waiters_.fetch_sub(1, std::memory_order_release);
+  }
+
+  // Phase 2: blocks until the slot's epoch moves past `ticket` (an unpark
+  // arrived), request_stop() is observed, or `backstop` elapses. Returns
+  // immediately (waited == false) when a wake already landed between
+  // prepare_park and this call, or when stopping.
+  park_result park(std::uint32_t w, std::uint32_t ticket,
+                   std::chrono::nanoseconds backstop)
+      HLS_NO_THREAD_SAFETY_ANALYSIS {  // cv wait releases/reacquires s.mu
+    slot& s = slots_[w];
+    park_result res;
+    std::unique_lock<mutex_t> lk(s.mu);
+    if (stop_.load(std::memory_order_acquire)) {
+      res.reason = wake_reason::stop;
+    } else if (s.epoch.load(std::memory_order_relaxed) != ticket) {
+      // A wake landed between prepare_park and here; consume it without
+      // blocking. The caller re-checks for work either way.
+      res.reason = wake_reason::notified;
+    } else {
+      s.state.store(kParked, std::memory_order_relaxed);
+      s.cv.wait_for(lk, backstop, [&] {
+        return s.epoch.load(std::memory_order_relaxed) != ticket ||
+               stop_.load(std::memory_order_relaxed);
+      });
+      res.waited = true;
+      if (stop_.load(std::memory_order_relaxed)) {
+        res.reason = wake_reason::stop;
+      } else if (s.epoch.load(std::memory_order_relaxed) != ticket) {
+        res.reason = wake_reason::notified;
+      } else {
+        res.reason = wake_reason::timeout;
+      }
+    }
+    s.state.store(kActive, std::memory_order_relaxed);
+    // Any wake aimed at this park cycle is consumed by the return below
+    // (notified) or can no longer be delivered (timeout/stop with the
+    // state now active), so the slot is again eligible for fresh wakes.
+    s.wake_pending = false;
+    lk.unlock();
+    waiters_.fetch_sub(1, std::memory_order_release);
+    return res;
+  }
+
+  // Wakes exactly one announced waiter (round-robin over slots). Returns
+  // true when a waiter was signalled; false when none was visible. Fast
+  // path with no waiters is one fence + one load, no lock. A slot that
+  // already holds an unconsumed wake is skipped in favour of a different
+  // waiter — two unparks never merge into one delivered signal.
+  bool unpark_one() noexcept {
+    // Dekker, notifier side: the caller's work publication (deque bottom_
+    // store, board ptr store — possibly relaxed) must be ordered before
+    // the waiter scan below. Pairs with the fence in prepare_park.
+    Traits::fence(std::memory_order_seq_cst);
+    if (waiters_.load(std::memory_order_relaxed) == 0) return false;
+    // Round-robin start so repeated single wakes fan out over workers
+    // instead of hammering slot 0.
+    const std::uint32_t start = rotor_.fetch_add(1, std::memory_order_relaxed);
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      slot& s = slots_[(start + i) % n_];
+      // Relaxed scan: purely a heuristic skip — the authoritative re-check
+      // happens under the slot mutex below, so no release store pairs with
+      // this load (the verify harness's ordering lint flags an acquire
+      // here as a one-sided edge).
+      if (s.state.load(std::memory_order_relaxed) == kActive) continue;
+      bool signalled = false;
+      {
+        hls::scoped_lock<mutex_t> lg(s.mu);
+        // Re-check under the lock: the worker may have cancelled or
+        // finished parking since the scan (bumping an active slot would
+        // waste the wake), and a slot whose previous wake is still
+        // unconsumed is skipped too — bumping it again would merge two
+        // wakes into one delivered signal, degrading a burst of posts to
+        // backstop latency and overcounting wakes_sent. Keep scanning for
+        // a waiter that can still consume a fresh wake.
+        if (s.state.load(std::memory_order_relaxed) != kActive &&
+            !s.wake_pending) {
+          s.epoch.fetch_add(1, std::memory_order_relaxed);
+          s.wake_pending = true;
+          signalled = true;
+        }
+      }
+      if (signalled) {
+        s.cv.notify_one();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Wakes every announced waiter (loop completion, join edges, shutdown).
+  void unpark_all() noexcept {
+    Traits::fence(std::memory_order_seq_cst);
+    if (waiters_.load(std::memory_order_relaxed) == 0) return;
+    for (std::uint32_t w = 0; w < n_; ++w) {
+      slot& s = slots_[w];
+      // Relaxed for the same reason as the unpark_one scan.
+      if (s.state.load(std::memory_order_relaxed) == kActive) continue;
+      bool signalled = false;
+      {
+        hls::scoped_lock<mutex_t> lg(s.mu);
+        if (s.state.load(std::memory_order_relaxed) != kActive) {
+          // A broadcast wakes everyone, so an already-pending slot is
+          // bumped again rather than skipped; the waiter consumes both as
+          // one.
+          s.epoch.fetch_add(1, std::memory_order_relaxed);
+          s.wake_pending = true;
+          signalled = true;
+        }
+      }
+      if (signalled) s.cv.notify_one();
+    }
+  }
+
+  // Latches stop and wakes everyone; park() calls return wake_reason::stop
+  // from then on.
+  void request_stop() noexcept {
+    stop_.store(true, std::memory_order_seq_cst);
+    for (std::uint32_t w = 0; w < n_; ++w) {
+      slot& s = slots_[w];
+      // Lock/unlock closes the race with a waiter between its predicate
+      // check and the wait; notify outside the lock avoids a pointless
+      // wake-then-block on the mutex.
+      { hls::scoped_lock<mutex_t> lg(s.mu); }
+      s.cv.notify_all();
+    }
+  }
+
+  bool stop_requested() const noexcept {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  // Racy count of announced waiters (pending + parked); for telemetry and
+  // notify fast paths only.
+  std::uint32_t waiters() const noexcept {
+    return waiters_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  enum : std::uint8_t { kActive = 0, kPending = 1, kParked = 2 };
+
+  // One slot per worker, padded so parking traffic on one worker never
+  // false-shares with its neighbours.
+  struct alignas(kCacheLine) slot {
+    atomic_t<std::uint32_t> epoch{0};
+    atomic_t<std::uint8_t> state{kActive};
+    mutex_t mu;
+    condvar_t cv;
+    // True while an unpark has bumped the epoch but the owning worker has
+    // not yet consumed the wake (in park or cancel_park). unpark_one skips
+    // such slots so a burst of wakes fans out to distinct waiters instead
+    // of collapsing onto one.
+    bool wake_pending HLS_GUARDED_BY(mu) = false;
+  };
+
+  std::uint32_t n_;
+  std::unique_ptr<slot[]> slots_;
+  alignas(kCacheLine) atomic_t<std::uint32_t> waiters_{0};
+  alignas(kCacheLine) atomic_t<std::uint32_t> rotor_{0};
+  atomic_t<bool> stop_{false};
+};
+
+}  // namespace hls::rt

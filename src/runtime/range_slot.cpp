@@ -1,104 +1,11 @@
 #include "runtime/range_slot.h"
 
-#include <algorithm>
-#include <cassert>
-#include <thread>
-
-#if defined(__x86_64__) || defined(__i386__)
-#include <immintrin.h>
-#endif
-
 namespace hls::rt {
 
-namespace {
-inline void cpu_relax() noexcept {
-#if defined(__x86_64__) || defined(__i386__)
-  _mm_pause();
-#else
-  std::this_thread::yield();
-#endif
-}
-}  // namespace
-
-bool range_slot::open(void* ctx, span_runner runner, std::int64_t lo,
-                      std::int64_t hi, std::int64_t grain) noexcept {
-  if (owner_open_) return false;
-  assert(hi > lo && hi - lo <= kMaxSpan);
-  ctx_ = ctx;
-  runner_ = runner;
-  base_ = lo;
-  grain_ = grain < 1 ? 1 : grain;
-  init_hi_off_ = static_cast<std::uint64_t>(hi - lo);
-  owner_open_ = true;
-  // The release store publishes the fields above to any thief whose
-  // (seq_cst) word load observes the open value.
-  word_.store(pack(0, init_hi_off_), std::memory_order_release);
-  return true;
-}
-
-std::int64_t range_slot::reserve(std::int64_t cur) noexcept {
-  const std::uint64_t off = static_cast<std::uint64_t>(cur - base_);
-  std::uint64_t w = word_.load(std::memory_order_relaxed);
-  for (;;) {
-    // Only the owner raises split, so the published split always equals
-    // the owner's own position; thieves may only have lowered hi.
-    assert((w >> 32) == off);
-    const std::uint64_t hi = w & kOffMask;
-    if (off >= hi) return cur;  // thieves consumed the rest
-    const std::uint64_t remaining = hi - off;
-    const std::uint64_t g = static_cast<std::uint64_t>(grain_);
-    const std::uint64_t take =
-        remaining <= g ? remaining : std::max(g, remaining >> 3);
-    if (word_.compare_exchange_weak(w, pack(off + take, hi),
-                                    std::memory_order_acq_rel,
-                                    std::memory_order_acquire)) {
-      return base_ + static_cast<std::int64_t>(off + take);
-    }
-  }
-}
-
-bool range_slot::close() noexcept {
-  // The seq_cst exchange is one side of a Dekker handshake with
-  // try_steal(): a thief either announced itself before this store (the
-  // drain below waits it out) or its word re-read sees kClosed and bails.
-  const std::uint64_t last = word_.exchange(kClosed, std::memory_order_seq_cst);
-  owner_open_ = false;
-  // Drain: after this loop no thief can still be reading the span fields
-  // (its release fetch_sub happens-before our acquire-or-stronger load),
-  // so the next open() may rewrite them without a race. A stale pre-close
-  // word value also cannot be CASed over a reopened slot, because every
-  // thief holding one retreated here first.
-  while (readers_.load(std::memory_order_seq_cst) != 0) cpu_relax();
-  return (last & kOffMask) != init_hi_off_;
-}
-
-range_slot::stolen range_slot::try_steal() noexcept {
-  stolen out;
-  // Announce before re-reading the word (the other side of close()'s
-  // Dekker handshake); the plain field reads below are only legal between
-  // this increment and the decrement while the word was observed open.
-  readers_.fetch_add(1, std::memory_order_seq_cst);
-  std::uint64_t w = word_.load(std::memory_order_seq_cst);
-  if (w != kClosed) {
-    const std::uint64_t split = w >> 32;
-    const std::uint64_t hi = w & kOffMask;
-    const auto g = static_cast<std::uint64_t>(grain_);
-    // Steal only when both halves stay >= grain; smaller remainders are
-    // the owner's tail and not worth a migration.
-    if (hi - split >= 2 * g) {
-      const std::uint64_t mid = split + (hi - split) / 2;
-      if (word_.compare_exchange_strong(w, pack(split, mid),
-                                        std::memory_order_acq_rel,
-                                        std::memory_order_relaxed)) {
-        out.run = runner_;
-        out.ctx = ctx_;
-        out.lo = base_ + static_cast<std::int64_t>(mid);
-        out.hi = base_ + static_cast<std::int64_t>(hi);
-      }
-    }
-  }
-  readers_.fetch_sub(1, std::memory_order_release);
-  return out;
-}
+// Instantiate the full shipping slot here so template breakage is caught
+// when this library builds, not first in a downstream target. (The class
+// itself is header-only; see runtime/range_slot_core.h for the protocol
+// and the ordering table.)
+template class range_slot_core<sync::real_traits, range_span_runner>;
 
 }  // namespace hls::rt

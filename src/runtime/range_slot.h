@@ -1,134 +1,33 @@
-// Splittable-range slot: lazy steal-driven loop splitting (one per worker).
+// Shipping instantiation of the splittable-range slot (one per worker).
 //
-// A worker executing a loop span publishes it here instead of eagerly
-// heap-allocating ~lg(n/grain) divide-and-conquer subtasks. The slot packs
-// the stealable region into one 64-bit word — {split:32 | hi:32}, both
-// offsets from an owner-written base — so the owner reserves work for
-// itself and a thief steals the upper half [mid, hi) with a single CAS.
-// Nothing is allocated and no shared_ptr refcount is touched unless a
-// steal actually happens; a stolen range seeds the thief's own slot, so
-// splitting stays recursive and the divide-and-conquer span bound
-// (Corollary 6) is preserved.
-//
-// Protocol (full ordering table in docs/runtime.md):
-//
-//   owner   open():    plain field writes, then word.store(open, release)
-//           reserve(): CAS {split, hi} -> {split', hi} claiming
-//                      [split, split') for itself (amortized: one RMW per
-//                      ~1/8 of the remaining range, not per chunk)
-//           close():   word.exchange(kClosed, seq_cst), then spin until
-//                      readers == 0 (drain)
-//   thief   try_steal(): readers.fetch_add(seq_cst); re-read word
-//                      (seq_cst); CAS {split, hi} -> {split, mid};
-//                      readers.fetch_sub(release)
-//
-// Lifetime safety mirrors the board's reader-count drain: a thief touches
-// the plain fields (ctx/runner/base/grain) only between the reader
-// announce and retreat while the word was observed open; close() waits
-// out every such reader before the owner may rewrite the fields for the
-// next span. ABA is structurally impossible: within one open the word is
-// strictly monotonic (split only rises, hi only falls), and a reopened
-// slot cannot be reached by a stale CAS because the drain waited for
-// every thief holding a pre-close word value.
+// The open/reserve/try_steal/close-drain protocol lives in
+// runtime/range_slot_core.h as a template over the synchronization traits
+// (verify/sync.h), so the EXACT code the runtime executes is also what the
+// hls_verify model-checking harness explores. This header pins the
+// template to the real std::atomic-backed traits and the scheduler-layer
+// runner signature.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 
-#include "util/cacheline.h"
+#include "runtime/range_slot_core.h"
+#include "verify/sync.h"
 
 namespace hls::rt {
 
 class worker;
 
-class range_slot {
+// Invoked on the thief to execute a stolen range. The ctx is the opaque
+// pointer passed to open(); the scheduler layer supplies a thunk that
+// downcasts it (runtime/ cannot depend on sched/).
+using range_span_runner = void (*)(worker& thief, void* ctx, std::int64_t lo,
+                                   std::int64_t hi);
+
+class range_slot
+    : public range_slot_core<sync::real_traits, range_span_runner> {
  public:
-  // Invoked on the thief to execute a stolen range. `ctx` is the opaque
-  // pointer passed to open(); the scheduler layer supplies a thunk that
-  // downcasts it (runtime/ cannot depend on sched/).
-  using span_runner = void (*)(worker& thief, void* ctx, std::int64_t lo,
-                               std::int64_t hi);
-
-  // Result of a successful steal; evaluates to false on a failed probe.
-  struct stolen {
-    span_runner run = nullptr;
-    void* ctx = nullptr;
-    std::int64_t lo = 0;
-    std::int64_t hi = 0;
-    explicit operator bool() const noexcept { return run != nullptr; }
-  };
-
-  // Largest publishable span: both offsets must fit 32 bits (and stay
-  // distinguishable from kClosed). Callers eagerly bisect larger spans.
-  static constexpr std::int64_t kMaxSpan = std::int64_t{1} << 31;
-
-  range_slot() = default;
-  range_slot(const range_slot&) = delete;
-  range_slot& operator=(const range_slot&) = delete;
-
-  // -- owner side (the worker that owns this slot) ----------------------
-
-  // Publishes [lo, hi) as a splittable span. Returns false when the slot
-  // is already open (a nested loop inside a chunk body); the caller falls
-  // back to eager subtask splitting. Requires 0 < hi - lo <= kMaxSpan.
-  bool open(void* ctx, span_runner runner, std::int64_t lo, std::int64_t hi,
-            std::int64_t grain) noexcept;
-
-  // Reserves the owner's next batch: claims [cur, result) where `cur` is
-  // the owner's current position (== the published split). Returns `cur`
-  // itself when thieves have consumed everything above it. The batch is
-  // max(grain, remaining/8), so the owner pays one RMW per refill, not
-  // per chunk, while keeping 7/8 of the remainder stealable.
-  std::int64_t reserve(std::int64_t cur) noexcept;
-
-  // Unpublishes the span and waits out in-flight thief probes so the
-  // fields may be safely rewritten by the next open(). Returns true when
-  // at least one steal shrank the span (i.e. the span was split).
-  bool close() noexcept;
-
-  // Owner-thread-only: is this slot currently publishing a span?
-  bool owner_open() const noexcept { return owner_open_; }
-
-  // -- thief side -------------------------------------------------------
-
-  // Cheap pre-check (one relaxed load, no RMW) for the steal path's
-  // common miss case.
-  bool looks_open() const noexcept {
-    return word_.load(std::memory_order_relaxed) != kClosed;
-  }
-
-  // One steal attempt: claims the upper half of the stealable region when
-  // it holds at least two grains (both halves stay >= grain). Like
-  // ws_deque::steal, a lost CAS race reports failure rather than retrying.
-  stolen try_steal() noexcept;
-
- private:
-  static constexpr std::uint64_t kOffMask = 0xffffffffull;
-  // split == hi == 2^32 - 1 can never be a valid open state (offsets are
-  // bounded by kMaxSpan), so all-ones doubles as the closed sentinel.
-  static constexpr std::uint64_t kClosed = ~0ull;
-
-  static constexpr std::uint64_t pack(std::uint64_t split,
-                                      std::uint64_t hi) noexcept {
-    return (split << 32) | hi;
-  }
-
-  // Owner-written span fields. Thieves read them only inside the reader
-  // announce/retreat window after observing the word open; the close()
-  // drain orders those reads before any rewrite (see header comment).
-  void* ctx_ = nullptr;
-  span_runner runner_ = nullptr;
-  std::int64_t base_ = 0;
-  std::int64_t grain_ = 1;
-  std::uint64_t init_hi_off_ = 0;  // owner-only: split detection at close
-  bool owner_open_ = false;        // owner-only: nested-span guard
-
-  // The packed {split:32 | hi:32} word (offsets from base_), CASed by the
-  // owner (reserve) and thieves (steal); kClosed when no span is open.
-  alignas(kCacheLine) std::atomic<std::uint64_t> word_{kClosed};
-
-  // In-flight thief probes (the board-style drain counter).
-  alignas(kCacheLine) std::atomic<std::uint32_t> readers_{0};
+  using span_runner = range_span_runner;
+  using range_slot_core<sync::real_traits, range_span_runner>::range_slot_core;
 };
 
 }  // namespace hls::rt

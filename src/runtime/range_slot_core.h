@@ -1,0 +1,247 @@
+// Splittable-range slot: lazy steal-driven loop splitting — the protocol
+// core, as a header template.
+//
+// A worker executing a loop span publishes it here instead of eagerly
+// heap-allocating ~lg(n/grain) divide-and-conquer subtasks. The slot packs
+// the stealable region into one 64-bit word — {split:32 | hi:32}, both
+// offsets from an owner-written base — so the owner reserves work for
+// itself and a thief steals the upper half [mid, hi) with a single CAS.
+// Nothing is allocated and no shared_ptr refcount is touched unless a
+// steal actually happens; a stolen range seeds the thief's own slot, so
+// splitting stays recursive and the divide-and-conquer span bound
+// (Corollary 6) is preserved.
+//
+// Protocol (full ordering table in docs/runtime.md):
+//
+//   owner   open():    plain field writes, then word.store(open, release)
+//           reserve(): CAS {split, hi} -> {split', hi} claiming
+//                      [split, split') for itself (amortized: one RMW per
+//                      ~1/8 of the remaining range, not per chunk)
+//           close():   word.exchange(kClosed, seq_cst), then spin until
+//                      readers == 0 (drain)
+//   thief   try_steal(): readers.fetch_add(seq_cst); re-read word
+//                      (seq_cst); CAS {split, hi} -> {split, mid};
+//                      readers.fetch_sub(release)
+//
+// Lifetime safety mirrors the board's reader-count drain: a thief touches
+// the plain fields (ctx/runner/base/grain) only between the reader
+// announce and retreat while the word was observed open; close() waits
+// out every such reader before the owner may rewrite the fields for the
+// next span. ABA is structurally impossible: within one open the word is
+// strictly monotonic (split only rises, hi only falls), and a reopened
+// slot cannot be reached by a stale CAS because the drain waited for
+// every thief holding a pre-close word value.
+//
+// Template parameters:
+//   Traits — synchronization traits (verify/sync.h); the plain fields use
+//            Traits::var so the model-checking harness race-checks every
+//            access the drain protocol is supposed to order.
+//   Runner — the type stored in the runner field; opaque to the protocol
+//            (the shipping wrapper uses its worker-thunk function pointer,
+//            the verification models use their own callables).
+//   Policy — protocol-variant knobs; shipping code always uses
+//            range_slot_policy_default (see verify_test.cpp for why the
+//            broken variant exists).
+#pragma once
+
+#include <algorithm>
+#include <atomic>  // std::memory_order (the traits' atomics share its enum)
+#include <cassert>
+#include <cstdint>
+
+#include "util/cacheline.h"
+
+namespace hls::rt {
+
+// close_drain: close() unpublishes with a seq_cst exchange and waits out
+// in-flight readers. Disabling it downgrades close() to a plain relaxed
+// store with no drain — reintroducing the use-after-reopen race the drain
+// exists to prevent; the verification suite proves the harness flags it
+// (a vector-clock data race on the span fields).
+struct range_slot_policy_default {
+  static constexpr bool close_drain = true;
+};
+
+struct range_slot_policy_no_drain {
+  static constexpr bool close_drain = false;
+};
+
+template <typename Traits, typename Runner,
+          typename Policy = range_slot_policy_default>
+class range_slot_core {
+  template <typename U>
+  using atomic_t = typename Traits::template atomic<U>;
+  template <typename U>
+  using var_t = typename Traits::template var<U>;
+
+ public:
+  using runner_type = Runner;
+
+  // Result of a successful steal; evaluates to false on a failed probe.
+  struct stolen {
+    Runner run{};
+    void* ctx = nullptr;
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    explicit operator bool() const noexcept { return run != Runner{}; }
+  };
+
+  // Largest publishable span: both offsets must fit 32 bits (and stay
+  // distinguishable from kClosed). Callers eagerly bisect larger spans.
+  static constexpr std::int64_t kMaxSpan = std::int64_t{1} << 31;
+
+  range_slot_core() = default;
+  range_slot_core(const range_slot_core&) = delete;
+  range_slot_core& operator=(const range_slot_core&) = delete;
+
+  // -- owner side (the worker that owns this slot) ----------------------
+
+  // Publishes [lo, hi) as a splittable span. Returns false when the slot
+  // is already open (a nested loop inside a chunk body); the caller falls
+  // back to eager subtask splitting. Requires 0 < hi - lo <= kMaxSpan.
+  bool open(void* ctx, Runner runner, std::int64_t lo, std::int64_t hi,
+            std::int64_t grain) noexcept {
+    if (owner_open_.load()) return false;
+    assert(hi > lo && hi - lo <= kMaxSpan);
+    ctx_.store(ctx);
+    runner_.store(runner);
+    base_.store(lo);
+    grain_.store(grain < 1 ? 1 : grain);
+    init_hi_off_.store(static_cast<std::uint64_t>(hi - lo));
+    owner_open_.store(true);
+    // The release store publishes the fields above to any thief whose
+    // (seq_cst) word load observes the open value.
+    word_.store(pack(0, init_hi_off_.load()), std::memory_order_release);
+    return true;
+  }
+
+  // Reserves the owner's next batch: claims [cur, result) where `cur` is
+  // the owner's current position (== the published split). Returns `cur`
+  // itself when thieves have consumed everything above it. The batch is
+  // max(grain, remaining/8), so the owner pays one RMW per refill, not
+  // per chunk, while keeping 7/8 of the remainder stealable.
+  std::int64_t reserve(std::int64_t cur) noexcept {
+    const std::uint64_t off = static_cast<std::uint64_t>(cur - base_.load());
+    std::uint64_t w = word_.load(std::memory_order_relaxed);
+    for (;;) {
+      // Only the owner raises split, so the published split always equals
+      // the owner's own position; thieves may only have lowered hi.
+      assert((w >> 32) == off);
+      const std::uint64_t hi = w & kOffMask;
+      if (off >= hi) return cur;  // thieves consumed the rest
+      const std::uint64_t remaining = hi - off;
+      const std::uint64_t g = static_cast<std::uint64_t>(grain_.load());
+      const std::uint64_t take =
+          remaining <= g ? remaining : std::max(g, remaining >> 3);
+      if (word_.compare_exchange_weak(w, pack(off + take, hi),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        return base_.load() + static_cast<std::int64_t>(off + take);
+      }
+    }
+  }
+
+  // Unpublishes the span and waits out in-flight thief probes so the
+  // fields may be safely rewritten by the next open(). Returns true when
+  // at least one steal shrank the span (i.e. the span was split).
+  bool close() noexcept {
+    std::uint64_t last;
+    if constexpr (Policy::close_drain) {
+      // The seq_cst exchange is one side of a Dekker handshake with
+      // try_steal(): a thief either announced itself before this store
+      // (the drain below waits it out) or its word re-read sees kClosed
+      // and bails.
+      last = word_.exchange(kClosed, std::memory_order_seq_cst);
+    } else {
+      last = word_.load(std::memory_order_relaxed);
+      word_.store(kClosed, std::memory_order_relaxed);
+    }
+    owner_open_.store(false);
+    if constexpr (Policy::close_drain) {
+      // Drain: after this loop no thief can still be reading the span
+      // fields (its release fetch_sub happens-before our
+      // acquire-or-stronger load), so the next open() may rewrite them
+      // without a race. A stale pre-close word value also cannot be CASed
+      // over a reopened slot, because every thief holding one retreated
+      // here first.
+      while (readers_.load(std::memory_order_seq_cst) != 0) Traits::pause();
+    }
+    return (last & kOffMask) != init_hi_off_.load();
+  }
+
+  // Owner-thread-only: is this slot currently publishing a span?
+  bool owner_open() const noexcept { return owner_open_.load(); }
+
+  // -- thief side -------------------------------------------------------
+
+  // Cheap pre-check (one relaxed load, no RMW) for the steal path's
+  // common miss case.
+  bool looks_open() const noexcept {
+    return word_.load(std::memory_order_relaxed) != kClosed;
+  }
+
+  // One steal attempt: claims the upper half of the stealable region when
+  // it holds at least two grains (both halves stay >= grain). Like
+  // ws_deque::steal, a lost CAS race reports failure rather than retrying.
+  stolen try_steal() noexcept {
+    stolen out;
+    // Announce before re-reading the word (the other side of close()'s
+    // Dekker handshake); the plain field reads below are only legal
+    // between this increment and the decrement while the word was
+    // observed open.
+    readers_.fetch_add(1, std::memory_order_seq_cst);
+    std::uint64_t w = word_.load(std::memory_order_seq_cst);
+    if (w != kClosed) {
+      const std::uint64_t split = w >> 32;
+      const std::uint64_t hi = w & kOffMask;
+      const auto g = static_cast<std::uint64_t>(grain_.load());
+      // Steal only when both halves stay >= grain; smaller remainders are
+      // the owner's tail and not worth a migration.
+      if (hi - split >= 2 * g) {
+        const std::uint64_t mid = split + (hi - split) / 2;
+        if (word_.compare_exchange_strong(w, pack(split, mid),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+          out.run = runner_.load();
+          out.ctx = ctx_.load();
+          out.lo = base_.load() + static_cast<std::int64_t>(mid);
+          out.hi = base_.load() + static_cast<std::int64_t>(hi);
+        }
+      }
+    }
+    readers_.fetch_sub(1, std::memory_order_release);
+    return out;
+  }
+
+ private:
+  static constexpr std::uint64_t kOffMask = 0xffffffffull;
+  // split == hi == 2^32 - 1 can never be a valid open state (offsets are
+  // bounded by kMaxSpan), so all-ones doubles as the closed sentinel.
+  static constexpr std::uint64_t kClosed = ~0ull;
+
+  static constexpr std::uint64_t pack(std::uint64_t split,
+                                      std::uint64_t hi) noexcept {
+    return (split << 32) | hi;
+  }
+
+  // Owner-written span fields. Thieves read them only inside the reader
+  // announce/retreat window after observing the word open; the close()
+  // drain orders those reads before any rewrite (see header comment).
+  // Routed through Traits::var so the harness race-checks exactly the
+  // accesses the drain protocol is supposed to order.
+  var_t<void*> ctx_{};
+  var_t<Runner> runner_{};
+  var_t<std::int64_t> base_{};
+  var_t<std::int64_t> grain_{1};
+  var_t<std::uint64_t> init_hi_off_{};  // owner-only: split detect at close
+  var_t<bool> owner_open_{};            // owner-only: nested-span guard
+
+  // The packed {split:32 | hi:32} word (offsets from base_), CASed by the
+  // owner (reserve) and thieves (steal); kClosed when no span is open.
+  alignas(kCacheLine) atomic_t<std::uint64_t> word_{kClosed};
+
+  // In-flight thief probes (the board-style drain counter).
+  alignas(kCacheLine) atomic_t<std::uint32_t> readers_{0};
+};
+
+}  // namespace hls::rt

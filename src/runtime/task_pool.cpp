@@ -52,7 +52,12 @@ void block_pool::deallocate(void* p) noexcept {
 }
 
 void* block_pool::allocate_sized(block_pool* pool, std::size_t bytes) {
-  if (pool != nullptr && bytes <= kUsableBytes) return pool->allocate();
+  if (pool != nullptr && bytes <= kUsableBytes) {
+    // Contract: callers pass their own worker's pool (policies.cpp fetches
+    // it from the current worker), so this thread IS the owner.
+    pool->owner_role().hold();
+    return pool->allocate();
+  }
   // Heap fallback with a compatible header so deallocate() can tell.
   auto* h = static_cast<header*>(::operator new(kHeaderBytes + bytes));
   h->owner = nullptr;

@@ -13,6 +13,8 @@
 #include <memory>
 #include <vector>
 
+#include "util/thread_safety.h"
+
 namespace hls::rt {
 
 class block_pool {
@@ -27,8 +29,10 @@ class block_pool {
   block_pool(const block_pool&) = delete;
   block_pool& operator=(const block_pool&) = delete;
 
-  // Owner thread only.
-  void* allocate();
+  // Owner thread only. Callers that are the owning worker state so with
+  // owner_role().hold() before allocating (a no-op that asserts the role
+  // capability to -Wthread-safety; see util/thread_safety.h).
+  void* allocate() HLS_REQUIRES(owner_role_);
 
   // Any thread. p must come from some block_pool's allocate() or from
   // fallback_allocate().
@@ -41,8 +45,15 @@ class block_pool {
 
   // Blocks currently parked in this pool (freelist + unreclaimed returns);
   // used by tests.
-  std::size_t free_count() const noexcept;
-  std::size_t slab_count() const noexcept { return slabs_.size(); }
+  std::size_t free_count() const noexcept HLS_REQUIRES(owner_role_);
+  std::size_t slab_count() const noexcept HLS_REQUIRES(owner_role_) {
+    return slabs_.size();
+  }
+
+  // The owner-thread pseudo-capability guarding the non-atomic state.
+  // There is no lock: the discipline is "only the owning worker calls the
+  // owner-side API", and the role annotation lets the analysis check it.
+  const thread_role& owner_role() const noexcept { return owner_role_; }
 
  private:
   struct header {
@@ -53,12 +64,14 @@ class block_pool {
   static constexpr std::size_t kBlockBytes = kHeaderBytes + kUsableBytes;
   static constexpr std::size_t kBlocksPerSlab = 512;
 
-  void add_slab();
-  void drain_returns() noexcept;
+  void add_slab() HLS_REQUIRES(owner_role_);
+  void drain_returns() noexcept HLS_REQUIRES(owner_role_);
 
-  header* free_ = nullptr;                         // owner-local
-  std::atomic<header*> returned_{nullptr};         // cross-thread returns
-  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+  thread_role owner_role_;
+  header* free_ HLS_GUARDED_BY(owner_role_) = nullptr;  // owner-local
+  std::atomic<header*> returned_{nullptr};  // cross-thread returns
+  std::vector<std::unique_ptr<std::byte[]>> slabs_
+      HLS_GUARDED_BY(owner_role_);
 };
 
 }  // namespace hls::rt

@@ -64,7 +64,7 @@ void registry::enable_events(std::size_t ring_capacity) {
   (void)ring_capacity;
 #else
   {
-    std::lock_guard<std::mutex> lk(setup_mu_);
+    hls::scoped_lock<annotated_mutex> lk(setup_mu_);
     if (rings_.empty()) {
       rings_.reserve(num_workers_);
       for (std::uint32_t w = 0; w < num_workers_; ++w) {
@@ -110,7 +110,7 @@ std::vector<worker_event> registry::drain_events() {
 }
 
 int registry::intern_label(const std::string& s) {
-  std::lock_guard<std::mutex> lk(setup_mu_);
+  hls::scoped_lock<annotated_mutex> lk(setup_mu_);
   for (std::size_t i = 0; i < labels_.size(); ++i) {
     if (labels_[i] == s) return static_cast<int>(i) + 1;
   }
@@ -119,7 +119,7 @@ int registry::intern_label(const std::string& s) {
 }
 
 std::string registry::label(int id) const {
-  std::lock_guard<std::mutex> lk(setup_mu_);
+  hls::scoped_lock<annotated_mutex> lk(setup_mu_);
   if (id < 1 || static_cast<std::size_t>(id) > labels_.size()) return "";
   return labels_[static_cast<std::size_t>(id) - 1];
 }

@@ -31,6 +31,7 @@
 #include "telemetry/events.h"
 #include "telemetry/histogram.h"
 #include "util/bits.h"
+#include "util/thread_safety.h"
 
 namespace hls::telemetry {
 
@@ -186,9 +187,9 @@ class registry {
   std::unique_ptr<worker_state[]> states_;
 
   std::atomic<bool> events_on_{false};
-  mutable std::mutex setup_mu_;  // ring allocation + label table
-  std::vector<std::unique_ptr<event_ring>> rings_;
-  std::vector<std::string> labels_;
+  mutable annotated_mutex setup_mu_;  // ring allocation + label table
+  std::vector<std::unique_ptr<event_ring>> rings_ HLS_GUARDED_BY(setup_mu_);
+  std::vector<std::string> labels_ HLS_GUARDED_BY(setup_mu_);
 
   std::atomic<std::uint64_t> lemma4_violations_{0};
   std::atomic<lemma4_hook> lemma4_hook_{nullptr};

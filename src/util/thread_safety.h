@@ -1,0 +1,111 @@
+// Clang thread-safety annotation macros plus an annotated mutex.
+//
+// The macros expand to Clang's capability attributes under any compiler
+// that understands them (enabled together with -Wthread-safety, wired in
+// the top-level CMakeLists when the compiler is Clang) and to nothing
+// elsewhere, so GCC builds are unaffected. std::mutex itself carries no
+// capability attribute in libstdc++, so annotated code uses
+// hls::annotated_mutex — a zero-overhead wrapper that *is* a capability —
+// and hls::annotated_condvar, which adopts the wrapped native mutex for
+// std::condition_variable waits (no condition_variable_any indirection,
+// no extra lock on the wake path).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define HLS_TS_ATTR(x) __attribute__((x))
+#else
+#define HLS_TS_ATTR(x)  // no-op
+#endif
+
+#define HLS_CAPABILITY(x) HLS_TS_ATTR(capability(x))
+#define HLS_SCOPED_CAPABILITY HLS_TS_ATTR(scoped_lockable)
+#define HLS_GUARDED_BY(x) HLS_TS_ATTR(guarded_by(x))
+#define HLS_PT_GUARDED_BY(x) HLS_TS_ATTR(pt_guarded_by(x))
+#define HLS_REQUIRES(...) HLS_TS_ATTR(requires_capability(__VA_ARGS__))
+#define HLS_ACQUIRE(...) HLS_TS_ATTR(acquire_capability(__VA_ARGS__))
+#define HLS_TRY_ACQUIRE(...) HLS_TS_ATTR(try_acquire_capability(__VA_ARGS__))
+#define HLS_RELEASE(...) HLS_TS_ATTR(release_capability(__VA_ARGS__))
+#define HLS_EXCLUDES(...) HLS_TS_ATTR(locks_excluded(__VA_ARGS__))
+#define HLS_RETURN_CAPABILITY(x) HLS_TS_ATTR(lock_returned(x))
+#define HLS_ASSERT_CAPABILITY(x) HLS_TS_ATTR(assert_capability(x))
+#define HLS_NO_THREAD_SAFETY_ANALYSIS HLS_TS_ATTR(no_thread_safety_analysis)
+
+namespace hls {
+
+// std::mutex wearing Clang's capability attribute. Satisfies Lockable, so
+// std::lock_guard / std::unique_lock / std::scoped_lock work unchanged;
+// native() exposes the wrapped mutex for condition-variable interop.
+class HLS_CAPABILITY("mutex") annotated_mutex {
+ public:
+  annotated_mutex() = default;
+  annotated_mutex(const annotated_mutex&) = delete;
+  annotated_mutex& operator=(const annotated_mutex&) = delete;
+
+  void lock() HLS_ACQUIRE() { mu_.lock(); }
+  void unlock() HLS_RELEASE() { mu_.unlock(); }
+  bool try_lock() HLS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  std::mutex& native() noexcept { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock holder the analysis can see. std::lock_guard carries no
+// scoped_lockable attribute for user capabilities, so locking an
+// annotated_mutex through it leaves -Wthread-safety believing the mutex
+// was never acquired; this guard declares the acquire/release pair.
+// Works over any BasicLockable (including the verify harness's
+// instrumented mutex, where the attributes are inert).
+template <typename M>
+class HLS_SCOPED_CAPABILITY scoped_lock {
+ public:
+  explicit scoped_lock(M& m) HLS_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~scoped_lock() HLS_RELEASE() { m_.unlock(); }
+
+  scoped_lock(const scoped_lock&) = delete;
+  scoped_lock& operator=(const scoped_lock&) = delete;
+
+ private:
+  M& m_;
+};
+
+// A zero-size pseudo-capability for single-writer disciplines that have no
+// lock at all — "only the owning worker touches this". Members annotated
+// HLS_GUARDED_BY(role_) plus methods annotated HLS_REQUIRES(role_) let
+// -Wthread-safety check the discipline statically; a caller that *is* the
+// owner states so with hold(), which asserts the capability to the
+// analysis and costs nothing at runtime.
+class HLS_CAPABILITY("role") thread_role {
+ public:
+  void hold() const noexcept HLS_ASSERT_CAPABILITY(this) {}
+};
+
+// condition_variable that waits on a std::unique_lock<annotated_mutex> by
+// temporarily adopting the native mutex. The adopt/release pair is pure
+// bookkeeping (no extra lock operations), so the wait path costs exactly
+// what a plain std::condition_variable wait does.
+class annotated_condvar {
+ public:
+  template <typename Pred>
+  bool wait_for(std::unique_lock<annotated_mutex>& lk,
+                std::chrono::nanoseconds timeout,
+                Pred pred) HLS_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> nlk(lk.mutex()->native(), std::adopt_lock);
+    const bool r = cv_.wait_for(nlk, timeout, std::move(pred));
+    nlk.release();  // ownership stays with lk
+    return r;
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace hls

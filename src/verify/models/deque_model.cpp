@@ -1,0 +1,108 @@
+// Verification model for the Chase-Lev deque core (runtime/deque_core.h):
+// the owner pushes three tasks and pops until empty while a batch thief
+// runs one steal_batch into its own deque and drains it.
+//
+// Checked (work conservation / exactly-once): every pushed task is
+// executed — by whichever side — exactly once. This is the property the
+// locked near-empty pop's generation word defends: with the bump disabled
+// (deque_policy_no_gen_bump) there is an interleaving where the thief
+// reads top_ = 0 and slots [0, 2) before its claim CAS, the owner
+// locked-pops two tasks from the bottom (each with advance 0, returning
+// the raw top_ word to 0), and the stale CAS then still commits — the
+// thief re-executes a task the owner already ran and strands the rest
+// (top_ above bottom_). The harness finds that interleaving within a
+// 3-preemption bound and check_final reports the double execution.
+//
+// The scenario is sized so the owner's pops take the near-empty LOCKED
+// path (depth 3 < kStealBatchMax) and the deque never grows (capacity 8).
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "runtime/deque_core.h"
+#include "verify/models/models.h"
+#include "verify/shim.h"
+
+namespace hls::verify {
+namespace {
+
+// Task identities: addresses into a static cell array (never dereferenced
+// through the deque; the value is the cell index).
+int g_cells[4];
+constexpr int kTasks = 3;
+
+int* task_ptr(int v) { return &g_cells[v]; }
+int task_val(int* p) { return static_cast<int>(p - g_cells); }
+
+template <typename Policy>
+class deque_model_t final : public model {
+  using deque_t = rt::ws_deque_core<int*, verify_traits, Policy>;
+
+  struct state {
+    deque_t owner_q{8};
+    deque_t thief_q{8};
+    // Executions per task value; plain ints are fine under the cooperative
+    // scheduler.
+    std::uint32_t executed[kTasks + 1] = {};
+  };
+
+ public:
+  explicit deque_model_t(const char* name) : name_(name) {}
+
+  const char* name() const override { return name_; }
+  int threads() const override { return 2; }
+
+  void setup() override { st_ = std::make_unique<state>(); }
+
+  void run(int t) override {
+    state& s = *st_;
+    if (t == 0) {
+      // Owner: push everything, then drain from the bottom.
+      for (int v = 1; v <= kTasks; ++v) s.owner_q.push(task_ptr(v));
+      while (int* p = s.owner_q.pop()) exec(p);
+    } else {
+      // Thief: one batch steal into its own deque, then drain it.
+      std::uint32_t transferred = 0;
+      if (int* p = s.owner_q.steal_batch(s.thief_q, &transferred)) {
+        exec(p);
+        check(transferred >= 1, "steal_batch returned a task but counted 0");
+      } else {
+        check(transferred == 0, "failed steal_batch counted transfers");
+      }
+      while (int* p = s.thief_q.pop()) exec(p);
+    }
+  }
+
+  void check_final() override {
+    state& s = *st_;
+    for (int v = 1; v <= kTasks; ++v) {
+      if (s.executed[v] != 1) {
+        fail_now("exactly-once violated: task " + std::to_string(v) +
+                 " executed " + std::to_string(s.executed[v]) +
+                 " times (double-executed or stranded)");
+      }
+    }
+  }
+
+ private:
+  void exec(int* p) {
+    const int v = task_val(p);
+    check(v >= 1 && v <= kTasks, "deque returned a pointer never pushed");
+    ++st_->executed[v];
+  }
+
+  const char* name_;
+  std::unique_ptr<state> st_;
+};
+
+}  // namespace
+
+std::unique_ptr<model> make_deque_model(bool broken_no_gen_bump) {
+  if (broken_no_gen_bump) {
+    return std::make_unique<deque_model_t<rt::deque_policy_no_gen_bump>>(
+        "deque-broken-nogenbump");
+  }
+  return std::make_unique<deque_model_t<rt::deque_policy_default>>("deque");
+}
+
+}  // namespace hls::verify

@@ -1,0 +1,60 @@
+// Factories for the verification models: small closed scenarios that
+// exercise the shipping protocol cores (the exact templates the runtime
+// instantiates) under the model-checking harness.
+//
+// Each factory returns a verify::model for explore(). The `broken_*`
+// parameters select a deliberately-miscompiled protocol variant (a Policy
+// with one safeguard removed, or a model-side omission of a required
+// protocol step); the verification suite proves the harness catches each
+// one with a replayable trace, which is the evidence that the passing
+// results on the real protocol mean something.
+//
+// Invariants checked, and where they come from:
+//
+//   claim      — every partition executed exactly once (Theorem 3) and
+//                per-worker max consecutive claim failures <= lg R
+//                (Lemma 4), over the real run_claim_loop + fetch_or flags.
+//   deque      — work conservation: every pushed task is executed exactly
+//                once, no double-execution and no stranded task, over
+//                ws_deque_core's push/pop/steal_batch (including the
+//                locked near-empty pop and its generation word).
+//   range_slot — every iteration of every published span executed exactly
+//                once across owner reserve and thief steals, including a
+//                close-then-reopen of the same slot; the close() drain is
+//                what makes the reopen safe, and the vector-clock checker
+//                is what catches its absence.
+//   parking    — no lost wakeup: a consumer using the prepare/re-check/
+//                park protocol always terminates; skipping the re-check
+//                deadlocks (detected, with the interleaving that lost the
+//                wake).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "verify/sched.h"
+
+namespace hls::verify {
+
+// Claim protocol of Algorithms 2/3 with `workers` model threads over
+// `partitions` flags (power of two, workers <= partitions, workers <= 8).
+std::unique_ptr<model> make_claim_model(std::uint32_t workers,
+                                        std::uint64_t partitions);
+
+// Owner (push x3, pop-all) vs batch thief on one ws_deque_core.
+// broken_no_gen_bump selects deque_policy_no_gen_bump, reintroducing the
+// locked-pop ABA (double-executed + stranded tasks).
+std::unique_ptr<model> make_deque_model(bool broken_no_gen_bump);
+
+// Owner publishing, consuming, closing and REOPENING one range_slot_core
+// span vs a thief probing try_steal. broken_no_drain selects
+// range_slot_policy_no_drain, reintroducing the use-after-reopen race the
+// close() drain prevents (caught as a vector-clock data race).
+std::unique_ptr<model> make_range_slot_model(bool broken_no_drain);
+
+// Producer/consumer over parking_lot_core. broken_skip_recheck makes the
+// consumer park without the post-prepare_park re-check, reintroducing the
+// classic lost-wakeup (caught as a deadlock).
+std::unique_ptr<model> make_parking_model(bool broken_skip_recheck);
+
+}  // namespace hls::verify

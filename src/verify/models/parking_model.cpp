@@ -1,0 +1,97 @@
+// Verification model for the parking lot (runtime/parking_core.h): one
+// producer publishes an item and unparks; one consumer runs the idle
+// protocol the runtime's workers use:
+//
+//   if (work visible) consume;            // pre-check, no announcement
+//   ticket = prepare_park(w);             // announce (seq_cst handshake)
+//   if (work visible) { cancel_park(w); } // re-check AFTER announcing
+//   else park(w, ticket, backstop);
+//
+// Checked: the consumer always terminates with the item consumed — no
+// lost wakeup in any interleaving, and no park() ever resolves to a
+// timeout (under the harness condvar waits are untimed, so a protocol
+// that silently leans on the backstop deadlocks instead; see
+// verify/shim.h). The broken variant skips the re-check between
+// prepare_park and park. Then the interleaving where the producer's
+// publish + unpark_one both land between the consumer's pre-check and its
+// prepare_park loses the wake — unpark_one scans before any waiter is
+// announced, finds none, and nothing ever wakes the parked consumer. The
+// harness reports it as a deadlock with the losing interleaving.
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "runtime/parking_core.h"
+#include "verify/models/models.h"
+#include "verify/shim.h"
+
+namespace hls::verify {
+namespace {
+
+class parking_model final : public model {
+  using lot_t = rt::parking_lot_core<verify_traits>;
+
+  struct state {
+    lot_t lot{1};
+    hls::verify::atomic<std::uint32_t> items{0};
+    std::uint32_t taken = 0;  // consumer-local progress, visible to checks
+    bool consumer_done = false;
+  };
+
+ public:
+  explicit parking_model(bool skip_recheck) : skip_recheck_(skip_recheck) {}
+
+  const char* name() const override {
+    return skip_recheck_ ? "parking-broken-norecheck" : "parking";
+  }
+  int threads() const override { return 2; }
+
+  void setup() override { st_ = std::make_unique<state>(); }
+
+  void run(int t) override {
+    state& s = *st_;
+    if (t == 1) {
+      // Producer: publish the item, then the tracked wake edge.
+      s.items.fetch_add(1, std::memory_order_seq_cst);
+      s.lot.unpark_one();
+      return;
+    }
+
+    // Consumer (slot 0).
+    while (s.taken < 1) {
+      if (s.items.load(std::memory_order_seq_cst) > s.taken) {
+        ++s.taken;
+        continue;
+      }
+      const std::uint32_t ticket = s.lot.prepare_park(0);
+      if (!skip_recheck_ &&
+          s.items.load(std::memory_order_seq_cst) > s.taken) {
+        s.lot.cancel_park(0);
+        continue;
+      }
+      const auto res = s.lot.park(0, ticket, std::chrono::milliseconds(1));
+      check(res.reason != lot_t::wake_reason::timeout,
+            "park resolved to a backstop timeout under the harness (a wake "
+            "edge is missing)");
+    }
+    s.consumer_done = true;
+  }
+
+  void check_final() override {
+    check(st_->consumer_done, "consumer did not finish");
+    check(st_->taken == 1, "item not consumed exactly once");
+    check(st_->lot.waiters() == 0, "waiter count leaked");
+  }
+
+ private:
+  bool skip_recheck_;
+  std::unique_ptr<state> st_;
+};
+
+}  // namespace
+
+std::unique_ptr<model> make_parking_model(bool broken_skip_recheck) {
+  return std::make_unique<parking_model>(broken_skip_recheck);
+}
+
+}  // namespace hls::verify

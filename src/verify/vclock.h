@@ -1,0 +1,246 @@
+// Vector-clock happens-before checker for the model-checking harness.
+//
+// The scheduler (verify/sched.h) explores sequentially consistent
+// interleavings — every execution it generates is one SC total order of the
+// instrumented operations. That alone would under-approximate the C++
+// memory model: code can be correct under every SC interleaving yet still
+// racy, because at runtime the hardware is only obliged to honour the
+// *declared* orderings. This checker closes that gap for the property we
+// care about: it derives happens-before edges ONLY from orderings the code
+// actually declares (release/acquire pairs, fences, mutexes), then flags
+// any pair of conflicting plain accesses (Traits::var) not ordered by
+// them. A protocol that spells seq_cst in the source but only works
+// because the exploration is SC shows up as a data race here, not as a
+// silent pass.
+//
+// Edge construction, per C++11 rules (intra-thread program order is
+// implicit in each thread's own clock):
+//
+//   release store            sync(x) := C_t      (new release sequence)
+//   relaxed store            sync(x) := RF_t     (release-fence clock; the
+//                                                fence "covers" the store)
+//   RMW, release             sync(x) |= C_t      (joins — an RMW continues
+//   RMW, relaxed             sync(x) |= RF_t      the release sequence, it
+//                                                never truncates it)
+//   acquire load             C_t |= sync(x)
+//   relaxed load             AP_t |= sync(x)     (pending; realized by a
+//                                                later acquire fence)
+//   release fence            RF_t := C_t
+//   acquire fence            C_t |= AP_t
+//   seq_cst fence/op         C_t |= SC; SC |= C_t  (the SC total order is
+//                                                modeled as one global
+//                                                clock — an over-
+//                                                approximation that can
+//                                                miss races between sc
+//                                                and non-sc accesses but
+//                                                never invents an edge
+//                                                that fabricates one)
+//   mutex acquire            C_t |= M
+//   mutex release            M |= C_t
+//
+// Race check (full-VC FastTrack without the epoch compression — with at
+// most 9 clocks the full vectors are cheaper than the adaptive
+// representation): per var x keep a write clock W_x and read clock R_x;
+// a read requires W_x <= C_t, a write requires W_x <= C_t and R_x <= C_t.
+//
+// The checker also keeps a heuristic "weak acquire" lint (see
+// weak_acquire_hint): an acquire load of a location whose current value
+// was stored with no release semantics and no covering release fence is
+// a one-sided edge — usually a smell, occasionally intentional, so it is
+// surfaced as a warning counter, never a failure.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace hls::verify {
+
+// 8 model threads + one slot for the main/setup context (index kMainClock),
+// which runs model::setup() and model::check_final().
+inline constexpr int kMaxModelThreads = 8;
+inline constexpr int kMaxClocks = kMaxModelThreads + 1;
+inline constexpr int kMainClock = kMaxModelThreads;
+
+struct vclock {
+  std::uint32_t c[kMaxClocks] = {};
+
+  void join(const vclock& o) noexcept {
+    for (int i = 0; i < kMaxClocks; ++i) {
+      if (o.c[i] > c[i]) c[i] = o.c[i];
+    }
+  }
+  bool leq(const vclock& o) const noexcept {
+    for (int i = 0; i < kMaxClocks; ++i) {
+      if (c[i] > o.c[i]) return false;
+    }
+    return true;
+  }
+  // First clock index in which this exceeds o (the "other side" of a
+  // race); -1 when leq(o).
+  int first_exceeding(const vclock& o) const noexcept {
+    for (int i = 0; i < kMaxClocks; ++i) {
+      if (c[i] > o.c[i]) return i;
+    }
+    return -1;
+  }
+  bool zero() const noexcept {
+    for (int i = 0; i < kMaxClocks; ++i) {
+      if (c[i] != 0) return false;
+    }
+    return true;
+  }
+  void clear() noexcept {
+    for (int i = 0; i < kMaxClocks; ++i) c[i] = 0;
+  }
+};
+
+// Per-atomic-location synchronization state.
+struct atomic_hb {
+  vclock sync;            // clock carried by the current release sequence
+  bool value_sync = false;  // current value was stored with sync semantics
+};
+
+// Per-plain-var (Traits::var) race-detection state.
+struct var_hb {
+  vclock write_vc;
+  vclock read_vc;
+};
+
+// Per-thread happens-before state.
+struct thread_hb {
+  vclock clk;          // C_t
+  vclock rel_fence;    // RF_t: clock at the last release(-or-stronger) fence
+  vclock acq_pending;  // AP_t: joined sync clocks of relaxed loads so far
+};
+
+class hb_state {
+ public:
+  void reset() noexcept {
+    for (auto& t : th_) t = thread_hb{};
+    sc_.clear();
+    // Distinct initial components so cross-thread orderings are never
+    // conflated with "both still at zero".
+    for (int i = 0; i < kMaxClocks; ++i) th_[i].clk.c[i] = 1;
+  }
+
+  const vclock& clock(int t) const noexcept { return th_[t].clk; }
+
+  // Thread lifecycle: a spawned thread starts after everything the
+  // spawning context did; join folds the finished thread into the joiner.
+  void on_thread_start(int t, int parent) noexcept {
+    th_[t].clk.join(th_[parent].clk);
+    tick(t);
+  }
+  void on_thread_join(int joiner, int t) noexcept {
+    th_[joiner].clk.join(th_[t].clk);
+    tick(joiner);
+  }
+
+  void on_load(int t, atomic_hb& a, std::memory_order mo) noexcept {
+    tick(t);
+    if (is_seq_cst(mo)) join_sc(t);
+    if (is_acquire(mo)) {
+      th_[t].clk.join(a.sync);
+    } else {
+      th_[t].acq_pending.join(a.sync);
+    }
+  }
+
+  void on_store(int t, atomic_hb& a, std::memory_order mo) noexcept {
+    tick(t);
+    if (is_seq_cst(mo)) join_sc(t);
+    if (is_release(mo)) {
+      a.sync = th_[t].clk;
+      a.value_sync = true;
+    } else {
+      // A plain store truncates the release sequence: the new value
+      // carries only what a prior release fence covers.
+      a.sync = th_[t].rel_fence;
+      a.value_sync = !th_[t].rel_fence.zero();
+    }
+  }
+
+  // A successful read-modify-write: acquire side sees the pre-update
+  // sequence, release side extends (never truncates) it.
+  void on_rmw(int t, atomic_hb& a, std::memory_order mo) noexcept {
+    tick(t);
+    if (is_seq_cst(mo)) join_sc(t);
+    const vclock pre = a.sync;
+    if (is_acquire(mo)) {
+      th_[t].clk.join(pre);
+    } else {
+      th_[t].acq_pending.join(pre);
+    }
+    if (is_release(mo)) {
+      a.sync.join(th_[t].clk);
+      a.value_sync = true;
+    } else {
+      a.sync.join(th_[t].rel_fence);
+    }
+  }
+
+  void on_fence(int t, std::memory_order mo) noexcept {
+    tick(t);
+    if (is_acquire(mo)) th_[t].clk.join(th_[t].acq_pending);
+    if (is_seq_cst(mo)) join_sc(t);
+    if (is_release(mo)) th_[t].rel_fence = th_[t].clk;
+  }
+
+  // Returns -1 when race-free, else the clock index of the conflicting
+  // prior access's thread.
+  int on_var_read(int t, var_hb& v) noexcept {
+    tick(t);
+    const int conflict = v.write_vc.first_exceeding(th_[t].clk);
+    v.read_vc.c[t] = th_[t].clk.c[t];
+    return conflict;
+  }
+
+  int on_var_write(int t, var_hb& v) noexcept {
+    tick(t);
+    int conflict = v.write_vc.first_exceeding(th_[t].clk);
+    if (conflict < 0) conflict = v.read_vc.first_exceeding(th_[t].clk);
+    v.write_vc.c[t] = th_[t].clk.c[t];
+    return conflict;
+  }
+
+  void on_mutex_acquire(int t, vclock& m) noexcept {
+    tick(t);
+    th_[t].clk.join(m);
+  }
+  void on_mutex_release(int t, vclock& m) noexcept {
+    tick(t);
+    m.join(th_[t].clk);
+  }
+
+  // True when an acquire-or-stronger load just observed a value that was
+  // stored with neither release semantics nor a covering release fence:
+  // the acquire edge has no partner. Call before on_load.
+  static bool weak_acquire_hint(const atomic_hb& a,
+                                std::memory_order mo) noexcept {
+    return is_acquire(mo) && !a.value_sync;
+  }
+
+  static bool is_acquire(std::memory_order mo) noexcept {
+    return mo == std::memory_order_acquire || mo == std::memory_order_consume ||
+           mo == std::memory_order_acq_rel || mo == std::memory_order_seq_cst;
+  }
+  static bool is_release(std::memory_order mo) noexcept {
+    return mo == std::memory_order_release ||
+           mo == std::memory_order_acq_rel || mo == std::memory_order_seq_cst;
+  }
+  static bool is_seq_cst(std::memory_order mo) noexcept {
+    return mo == std::memory_order_seq_cst;
+  }
+
+ private:
+  void tick(int t) noexcept { ++th_[t].clk.c[t]; }
+  void join_sc(int t) noexcept {
+    th_[t].clk.join(sc_);
+    sc_.join(th_[t].clk);
+  }
+
+  thread_hb th_[kMaxClocks];
+  vclock sc_;  // the modeled SC total-order clock
+};
+
+}  // namespace hls::verify

@@ -1,232 +1,93 @@
-// Model-checking Theorem 3: every partition is claimed exactly once under
-// EVERY interleaving of the claim protocol, including arbitrary worker
-// arrival times and workers that never arrive.
+// Model-checking Theorem 3 and Lemma 4: every partition is claimed exactly
+// once and no worker sees more than lg R consecutive failures under EVERY
+// interleaving of the claim protocol.
 //
-// Each worker is an explicit state machine stepping one claim attempt at a
-// time, built from the same transition functions the runtime uses
-// (core::claim_target, core::advance_on_failure, and the Alg. 3 exit
-// rules). A DFS explores every schedule choice: at each step either an
-// arrived, unfinished worker performs its next claim attempt, or a
-// not-yet-arrived worker executes the DoHybridLoop steal-protocol entry
-// check (entering only if its designated partition is unclaimed, as the
-// paper's thieves do). Terminal states additionally cover the case where
-// the remaining workers never arrive at all.
+// Earlier revisions duplicated the claim loop as a hand-stepped state
+// machine and DFS'd over it, which proved properties of the *copy*. The
+// models here (src/verify/models/claim_model.cpp) instead run the real
+// core::run_claim_loop template over instrumented fetch_or flags under the
+// verify scheduler, so the exhaustive exploration covers the shipping
+// code itself — including interleavings where one worker finishes before
+// another starts (the arrival staggering the old model enumerated
+// explicitly) and the exit-on-first-failure path (the protocol's "revert
+// to ordinary stealing" arm). The model's observe callback replays the
+// index-advance rules attempt by attempt and fails on any divergence from
+// the loop's own claim_stats, which subsumes the old ModelFidelity test.
 //
-// Exhaustive for small (P, R); randomized schedules validate larger sizes.
+// Exhaustive for small (P, R); seeded random walks validate larger sizes.
 #include <gtest/gtest.h>
 
 #include <cstdint>
-#include <vector>
+#include <utility>
 
-#include "core/claim.h"
-#include "util/bits.h"
-#include "util/rng.h"
+#include "verify/models/models.h"
+#include "verify/sched.h"
 
-namespace hls::core {
+namespace hls::verify {
 namespace {
 
-struct worker_sm {
-  enum class st : std::uint8_t { unarrived, claiming, done };
-  st state = st::unarrived;
-  std::uint64_t i = 0;  // claim index (valid in `claiming`)
+struct size_case {
+  std::uint32_t workers;
+  std::uint64_t partitions;
+  int preemption_bound;  // -1 = unbounded (truly every interleaving)
 };
 
-struct model {
-  std::uint64_t r_count;
-  std::vector<std::uint8_t> claimed;  // per partition
-  std::vector<worker_sm> workers;
-  std::uint64_t claims_made = 0;
+class ExhaustiveInterleavings : public ::testing::TestWithParam<size_case> {};
 
-  explicit model(std::uint32_t p, std::uint64_t r)
-      : r_count(r), claimed(r, 0), workers(p) {}
-
-  // Steal-protocol entry: arrive iff the designated partition is free.
-  // Returns false if the worker instead reverts to plain stealing forever.
-  bool arrive(std::uint32_t w) {
-    worker_sm& sm = workers[w];
-    const std::uint64_t weff = w & (r_count - 1);
-    if (claimed[claim_target(0, weff)]) {
-      sm.state = worker_sm::st::done;  // reverts to ordinary stealing
-      return false;
-    }
-    sm.state = worker_sm::st::claiming;
-    sm.i = 0;
-    return true;
-  }
-
-  // One claim attempt (one fetch_or) for an arrived worker.
-  void step(std::uint32_t w) {
-    worker_sm& sm = workers[w];
-    const std::uint64_t weff = w & (r_count - 1);
-    const std::uint64_t r = claim_target(sm.i, weff);
-    if (!claimed[r]) {
-      claimed[r] = 1;
-      ++claims_made;
-      sm.i += 1;
-    } else if (sm.i == 0) {
-      sm.state = worker_sm::st::done;  // Alg. 3 line 14
-      return;
-    } else {
-      sm.i = advance_on_failure(sm.i);
-    }
-    if (sm.i >= r_count) sm.state = worker_sm::st::done;
-  }
-
-  bool any_arrived() const {
-    for (const auto& sm : workers) {
-      if (sm.state != worker_sm::st::unarrived) return true;
-    }
-    return false;
-  }
-  bool all_quiescent() const {
-    for (const auto& sm : workers) {
-      if (sm.state == worker_sm::st::claiming) return false;
-    }
-    return true;
-  }
-  bool all_claimed() const {
-    for (auto c : claimed) {
-      if (!c) return false;
-    }
-    return true;
-  }
-};
-
-// DFS over all schedules. At quiescent states with at least one arrival,
-// coverage must hold even if no further worker ever arrives.
-void dfs(model& m, std::uint64_t* states_visited) {
-  ++*states_visited;
-  ASSERT_LT(*states_visited, 80'000'000ull) << "state space blew up";
-
-  if (m.all_quiescent() && m.any_arrived()) {
-    // Terminal if the remaining unarrived workers never show up.
-    ASSERT_TRUE(m.all_claimed()) << "Theorem 3 violated";
-    // (Continue exploring arrivals below: they must also be safe.)
-  }
-
-  for (std::uint32_t w = 0; w < m.workers.size(); ++w) {
-    switch (m.workers[w].state) {
-      case worker_sm::st::unarrived: {
-        model saved = m;
-        m.arrive(w);
-        dfs(m, states_visited);
-        m = std::move(saved);
-        break;
-      }
-      case worker_sm::st::claiming: {
-        model saved = m;
-        m.step(w);
-        dfs(m, states_visited);
-        m = std::move(saved);
-        break;
-      }
-      case worker_sm::st::done:
-        break;
-    }
-  }
-}
-
-class ExhaustiveInterleavings
-    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint64_t>> {
-};
-
-TEST_P(ExhaustiveInterleavings, TheoremThreeHoldsOnEverySchedule) {
-  const auto [p, r] = GetParam();
-  model m(p, r);
-  std::uint64_t states = 0;
-  // The first worker must arrive for anything to happen; explore all
-  // choices of who that is.
-  for (std::uint32_t first = 0; first < p; ++first) {
-    model fresh(p, r);
-    ASSERT_TRUE(fresh.arrive(first));
-    dfs(fresh, &states);
-  }
-  RecordProperty("states_visited", std::to_string(states));
+TEST_P(ExhaustiveInterleavings, TheoremThreeAndLemmaFourHold) {
+  const auto [w, r, bound] = GetParam();
+  auto m = make_claim_model(w, r);
+  options opt;
+  opt.mode = options::run_mode::exhaustive;
+  opt.preemption_bound = bound;
+  const auto res = explore(*m, opt);
+  EXPECT_TRUE(res.ok) << res.failure;
+  EXPECT_TRUE(res.exhausted) << "exploration stopped before exhausting the "
+                                "bounded space";
+  RecordProperty("executions", std::to_string(res.executions));
+  RecordProperty("states_explored", std::to_string(res.states_explored));
 }
 
 INSTANTIATE_TEST_SUITE_P(
     SmallSizes, ExhaustiveInterleavings,
-    ::testing::Values(std::pair<std::uint32_t, std::uint64_t>{1, 1},
-                      std::pair<std::uint32_t, std::uint64_t>{2, 2},
-                      std::pair<std::uint32_t, std::uint64_t>{3, 4},
-                      std::pair<std::uint32_t, std::uint64_t>{4, 4}),
+    ::testing::Values(size_case{1, 1, -1}, size_case{2, 2, -1},
+                      size_case{3, 4, -1}, size_case{2, 8, -1},
+                      size_case{4, 4, 2}, size_case{4, 8, 2}),
+    [](const auto& info) {
+      return "P" + std::to_string(info.param.workers) + "_R" +
+             std::to_string(info.param.partitions) +
+             (info.param.preemption_bound < 0
+                  ? std::string("_full")
+                  : "_b" + std::to_string(info.param.preemption_bound));
+    });
+
+class RandomInterleavings
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint64_t>> {
+};
+
+TEST_P(RandomInterleavings, TheoremThreeHoldsOnRandomSchedules) {
+  const auto [w, r] = GetParam();
+  auto m = make_claim_model(w, r);
+  options opt;
+  opt.mode = options::run_mode::random;
+  opt.iterations = 3000;
+  opt.seed = w * 1337 + r;
+  const auto res = explore(*m, opt);
+  EXPECT_TRUE(res.ok) << res.failure;
+  EXPECT_EQ(res.executions, opt.iterations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RandomInterleavings,
+    ::testing::Values(std::pair<std::uint32_t, std::uint64_t>{5, 8},
+                      std::pair<std::uint32_t, std::uint64_t>{6, 8},
+                      std::pair<std::uint32_t, std::uint64_t>{8, 8},
+                      std::pair<std::uint32_t, std::uint64_t>{4, 16},
+                      std::pair<std::uint32_t, std::uint64_t>{8, 32}),
     [](const auto& info) {
       return "P" + std::to_string(info.param.first) + "_R" +
              std::to_string(info.param.second);
     });
 
-class RandomInterleavings : public ::testing::TestWithParam<std::uint32_t> {};
-
-TEST_P(RandomInterleavings, TheoremThreeHoldsOnRandomSchedules) {
-  const std::uint32_t p = GetParam();
-  const std::uint64_t r = next_pow2(p);
-  xoshiro256ss rng(p * 1337);
-  for (int trial = 0; trial < 3000; ++trial) {
-    model m(p, r);
-    // Random arrival subset (first arrival forced) and random stepping.
-    ASSERT_TRUE(m.arrive(static_cast<std::uint32_t>(rng.next_below(p))));
-    const std::uint64_t arrival_chance = 1 + rng.next_below(6);
-    while (!m.all_quiescent() || (rng.next_below(3) == 0 && !m.any_arrived())) {
-      // Pick a random actionable worker.
-      std::vector<std::uint32_t> actionable;
-      for (std::uint32_t w = 0; w < p; ++w) {
-        if (m.workers[w].state == worker_sm::st::claiming) {
-          actionable.push_back(w);
-        } else if (m.workers[w].state == worker_sm::st::unarrived &&
-                   rng.next_below(arrival_chance) == 0) {
-          actionable.push_back(w);
-        }
-      }
-      if (actionable.empty()) break;
-      const std::uint32_t w = actionable[rng.next_below(actionable.size())];
-      if (m.workers[w].state == worker_sm::st::unarrived) {
-        m.arrive(w);
-      } else {
-        m.step(w);
-      }
-    }
-    // Drain whatever is still claiming.
-    for (std::uint32_t w = 0; w < p; ++w) {
-      while (m.workers[w].state == worker_sm::st::claiming) m.step(w);
-    }
-    ASSERT_TRUE(m.all_claimed()) << "P=" << p << " trial=" << trial;
-    // Exactly-once is structural (flags), but verify the claim count.
-    EXPECT_EQ(m.claims_made, r);
-  }
-}
-
-INSTANTIATE_TEST_SUITE_P(Sizes, RandomInterleavings,
-                         ::testing::Values(5u, 8u, 13u, 16u, 32u, 64u));
-
-// The model's transition functions are the runtime's: a solo run of the
-// model must match run_claim_loop exactly.
-TEST(ModelFidelity, SoloModelMatchesRunClaimLoop) {
-  for (std::uint32_t w = 0; w < 16; ++w) {
-    model m(16, 16);
-    ASSERT_TRUE(m.arrive(w));
-    std::vector<std::uint64_t> model_order;
-    while (m.workers[w].state == worker_sm::st::claiming) {
-      const std::uint64_t target = claim_target(m.workers[w].i, w);
-      if (!m.claimed[target]) model_order.push_back(target);
-      m.step(w);
-    }
-
-    struct seq_flags {
-      std::vector<char> c;
-      bool test_and_set(std::uint64_t r) {
-        const bool prev = c[r] != 0;
-        c[r] = 1;
-        return prev;
-      }
-    } flags{std::vector<char>(16, 0)};
-    std::vector<std::uint64_t> loop_order;
-    run_claim_loop(w, 16, flags,
-                   [&](std::uint64_t r, std::uint64_t) {
-                     loop_order.push_back(r);
-                   });
-    EXPECT_EQ(model_order, loop_order) << "w=" << w;
-  }
-}
-
 }  // namespace
-}  // namespace hls::core
+}  // namespace hls::verify

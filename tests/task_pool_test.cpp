@@ -16,6 +16,7 @@ namespace {
 
 TEST(BlockPool, AllocateDistinctBlocks) {
   block_pool pool;
+  pool.owner_role().hold();  // this thread is the owner
   std::set<void*> seen;
   std::vector<void*> blocks;
   for (int i = 0; i < 100; ++i) {
@@ -29,6 +30,7 @@ TEST(BlockPool, AllocateDistinctBlocks) {
 
 TEST(BlockPool, BlocksAreWritableAtFullUsableSize) {
   block_pool pool;
+  pool.owner_role().hold();  // this thread is the owner
   void* p = pool.allocate();
   std::memset(p, 0xAB, block_pool::kUsableBytes);
   block_pool::deallocate(p);
@@ -36,6 +38,7 @@ TEST(BlockPool, BlocksAreWritableAtFullUsableSize) {
 
 TEST(BlockPool, RecyclesFreedBlocksWithoutNewSlabs) {
   block_pool pool;
+  pool.owner_role().hold();  // this thread is the owner
   void* first = pool.allocate();
   const std::size_t slabs = pool.slab_count();
   block_pool::deallocate(first);
@@ -50,6 +53,7 @@ TEST(BlockPool, RecyclesFreedBlocksWithoutNewSlabs) {
 
 TEST(BlockPool, GrowsWhenLiveBlocksExceedASlab) {
   block_pool pool;
+  pool.owner_role().hold();  // this thread is the owner
   std::vector<void*> live;
   for (int i = 0; i < 2000; ++i) live.push_back(pool.allocate());
   EXPECT_GE(pool.slab_count(), 2u);
@@ -59,6 +63,7 @@ TEST(BlockPool, GrowsWhenLiveBlocksExceedASlab) {
 
 TEST(BlockPool, CrossThreadFreeReturnsToOwner) {
   block_pool pool;
+  pool.owner_role().hold();  // this thread is the owner
   std::vector<void*> blocks;
   for (int i = 0; i < 600; ++i) blocks.push_back(pool.allocate());
   std::thread other([&] {
@@ -74,6 +79,7 @@ TEST(BlockPool, CrossThreadFreeReturnsToOwner) {
 
 TEST(BlockPool, OversizedRequestsFallBackToHeap) {
   block_pool pool;
+  pool.owner_role().hold();  // this thread is the owner
   void* p = block_pool::allocate_sized(&pool, 4096);
   ASSERT_NE(p, nullptr);
   std::memset(p, 0x5A, 4096);
@@ -88,6 +94,7 @@ TEST(BlockPool, NullPoolFallsBackToHeap) {
 
 TEST(BlockPool, ConcurrentProducersReturningToOneOwner) {
   block_pool pool;
+  pool.owner_role().hold();  // this thread is the owner
   constexpr int kPerThread = 2000;
   std::vector<void*> blocks;
   for (int i = 0; i < 4 * kPerThread; ++i) blocks.push_back(pool.allocate());
@@ -114,12 +121,16 @@ TEST(BlockPool, LoopSubtasksReuseBlocksAcrossLoops) {
   run();
   std::size_t slabs = 0;
   for (std::uint32_t w = 0; w < rt.num_workers(); ++w) {
-    slabs += rt.worker_at(w).pool().slab_count();
+    auto& pool = rt.worker_at(w).pool();
+    pool.owner_role().hold();  // workers are quiescent between loops
+    slabs += pool.slab_count();
   }
   for (int rep = 0; rep < 20; ++rep) run();
   std::size_t slabs_after = 0;
   for (std::uint32_t w = 0; w < rt.num_workers(); ++w) {
-    slabs_after += rt.worker_at(w).pool().slab_count();
+    auto& pool = rt.worker_at(w).pool();
+    pool.owner_role().hold();  // workers are quiescent between loops
+    slabs_after += pool.slab_count();
   }
   EXPECT_LE(slabs_after, slabs + 1);
 }
