@@ -5,11 +5,14 @@
 //
 // Pass --threaded to additionally measure affinity on the real threaded
 // runtime of this host (worker threads are oversubscribed on small hosts,
-// which perturbs the dynamic schemes but not the deterministic ones).
+// which perturbs the dynamic schemes but not the deterministic ones). The
+// shared telemetry flags (--telemetry, --trace-out, --metrics-out; see
+// telemetry/report.h) apply to that threaded runtime.
 #include <iostream>
 
 #include "bench_util.h"
 #include "sim/engine.h"
+#include "telemetry/report.h"
 #include "trace/affinity.h"
 #include "trace/loop_trace.h"
 #include "workloads/micro.h"
@@ -85,6 +88,7 @@ int main(int argc, char** argv) {
     const auto p =
         static_cast<std::uint32_t>(c.get_int("threaded_workers", 4));
     rt::runtime rt(p);
+    telemetry::run_session tel(rt.tel(), telemetry::run_options::from_cli(c));
     table tt({"scheme", "balanced", "unbalanced"});
     for (const auto& [label, pol] : bench::paper_schemes()) {
       workloads::micro_params bp, up;
@@ -97,6 +101,7 @@ int main(int argc, char** argv) {
                   table::fmt_pct(threaded_affinity(rt, mu, pol, 8), 2)});
     }
     hls::bench::emit(tt);
+    if (!tel.finish(std::cout)) return 1;
   }
   return 0;
 }

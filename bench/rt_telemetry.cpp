@@ -6,6 +6,7 @@
 //
 //   build/bench/rt_telemetry [--workers=4] [--n=262144] [--reps=6]
 //                            [--csv|--json] [--telemetry] [--trace-out=F]
+//                            [--metrics-out=F]
 //
 // With --trace-out the Chrome trace written at exit covers the events-on
 // measurement phase (rings accumulate until drained at export).
@@ -26,6 +27,7 @@ double time_loops(hls::rt::runtime& rt, hls::policy pol, std::int64_t n,
                   int reps, std::vector<double>& data) {
   hls::loop_options opt;
   opt.label = "rt_telemetry";
+  opt.site = HLS_LOOP_SITE("bench_loop");
   const auto t0 = clk::now();
   for (int r = 0; r < reps; ++r) {
     hls::parallel_for(
@@ -54,6 +56,7 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(c.get_int("reps", 6));
 
   hls::rt::runtime rt(workers);
+  hls::telemetry::run_session tel(rt.tel(), tel_opt);
   std::vector<double> data(static_cast<std::size_t>(n), 0.0);
 
   const hls::policy pols[] = {hls::policy::hybrid, hls::policy::dynamic_ws};
@@ -82,8 +85,8 @@ int main(int argc, char** argv) {
   // Leave events in the state the flags asked for before exporting.
   if (!tel_opt.tracing()) rt.tel().disable_events();
   hls::telemetry::apply(rt.tel(), tel_opt);
-  if (!hls::telemetry::finish(std::cout, rt.tel(), tel_opt)) {
-    std::cerr << "failed to write " << tel_opt.trace_out << "\n";
+  if (!tel.finish(std::cout)) {
+    std::cerr << "failed to write telemetry output\n";
     return 1;
   }
   return 0;

@@ -4,6 +4,8 @@
 // balancing pays off without giving up all locality.
 //
 //   build/examples/adaptive_quadrature [--workers=4] [--intervals=2048]
+//                                      [--telemetry] [--trace-out=FILE]
+//                                      [--metrics-out=FILE]
 //
 // Integrates f(x) = sin(1/x) on (eps, 1]: intervals near zero need far more
 // adaptive refinement than those near one.
@@ -14,6 +16,7 @@
 #include <mutex>
 
 #include "sched/loop.h"
+#include "telemetry/report.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -51,8 +54,12 @@ int main(int argc, char** argv) {
   const double lo_bound = 1e-4, hi_bound = 1.0;
 
   hls::rt::runtime rt(workers);
+  hls::telemetry::run_session tel(rt.tel(),
+                                  hls::telemetry::run_options::from_cli(cli));
   hls::table t({"policy", "integral", "f-evals", "wall ms"});
 
+  hls::loop_options lopt;
+  lopt.site = HLS_LOOP_SITE("quadrature");
   for (hls::policy pol : hls::kAllParallelPolicies) {
     double total = 0.0;
     std::int64_t evals = 0;
@@ -70,7 +77,7 @@ int main(int argc, char** argv) {
       std::lock_guard<std::mutex> lk(mu);
       total += val;
       evals += local_evals;
-    });
+    }, lopt);
     const auto t1 = std::chrono::steady_clock::now();
     const double ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
@@ -86,5 +93,5 @@ int main(int argc, char** argv) {
               "domain.\nEvery policy computes the identical result; wall "
               "times on a multicore\nhost separate the load balancers from "
               "strict static partitioning.\n");
-  return 0;
+  return tel.finish(std::cout) ? 0 : 1;
 }

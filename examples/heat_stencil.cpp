@@ -6,6 +6,7 @@
 //
 //   build/examples/heat_stencil [--workers=4] [--cells=200000] [--steps=50]
 //                               [--telemetry] [--trace-out=trace.json]
+//                               [--metrics-out=metrics.jsonl]
 //
 // Prints the evolution of the total heat (conserved up to boundary loss)
 // and the measured iteration->worker affinity per policy. With --trace-out
@@ -47,6 +48,7 @@ double run_policy(hls::rt::runtime& rt, hls::policy pol, std::int64_t cells,
     hls::loop_options opt;
     opt.trace = &tr;
     opt.label = "heat_step";
+    opt.site = HLS_LOOP_SITE("heat_step");
     hls::parallel_for(
         rt, 1, cells - 1, pol,
         [&](std::int64_t lo, std::int64_t hi) {
@@ -74,9 +76,9 @@ int main(int argc, char** argv) {
   const std::int64_t cells = cli.get_int("cells", 200'000);
   const int steps = static_cast<int>(cli.get_int("steps", 50));
 
-  const auto tel_opt = hls::telemetry::run_options::from_cli(cli);
   hls::rt::runtime rt(workers);
-  hls::telemetry::apply(rt.tel(), tel_opt);
+  hls::telemetry::run_session tel(rt.tel(),
+                                  hls::telemetry::run_options::from_cli(cli));
 
   // Chunk placement of the final hybrid step, exported alongside the
   // scheduler event trace when --trace-out is given.
@@ -97,8 +99,5 @@ int main(int argc, char** argv) {
   std::printf(
       "\nHeat is identical across policies (the schedule never changes the\n"
       "math); affinity shows which schedulers keep iterations pinned.\n");
-  return hls::telemetry::finish(std::cout, rt.tel(), tel_opt,
-                                &last_hybrid_step)
-             ? 0
-             : 1;
+  return tel.finish(std::cout, &last_hybrid_step) ? 0 : 1;
 }

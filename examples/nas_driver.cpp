@@ -4,9 +4,14 @@
 //   build/examples/nas_driver ep --policy=hybrid --workers=4
 //   build/examples/nas_driver cg --policy=vanilla --cg_n=2048
 //   build/examples/nas_driver all --class=S
+//
+// The shared telemetry flags (--telemetry, --trace-out, --metrics-out;
+// see telemetry/report.h) work here too.
 #include <cstdio>
+#include <iostream>
 #include <string>
 
+#include "telemetry/report.h"
 #include "util/cli.h"
 #include "workloads/cg.h"
 #include "workloads/ep.h"
@@ -36,6 +41,7 @@ int main(int argc, char** argv) {
   const auto pol =
       policy_from_name(c.get("policy", "hybrid")).value_or(policy::hybrid);
   rt::runtime rt(static_cast<std::uint32_t>(c.get_int_in("workers", 4, 1, rt::runtime::kMaxWorkers)));
+  telemetry::run_session tel(rt.tel(), telemetry::run_options::from_cli(c));
   // NPB problem class; individual --ep_m / --is_keys / --cg_n / --mg_log2 /
   // --ft_log2 flags override the class preset.
   const npb_class cls =
@@ -72,5 +78,6 @@ int main(int argc, char** argv) {
     ft_bench b(p);
     rc |= report("ft", b.run(rt, pol));
   }
+  if (!tel.finish(std::cout)) rc |= 1;
   return rc;
 }

@@ -6,12 +6,15 @@
 // partitions, keeping both load balance and locality without any stealing.
 //
 //   build/examples/nbody_weighted [--workers=4] [--bodies=1024] [--steps=8]
+//                                 [--telemetry] [--trace-out=FILE]
+//                                 [--metrics-out=FILE]
 #include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
 #include "sched/loop.h"
+#include "telemetry/report.h"
 #include "trace/affinity.h"
 #include "trace/loop_trace.h"
 #include "util/cli.h"
@@ -45,6 +48,7 @@ double step(hls::rt::runtime& rt, std::vector<body>& bodies, hls::policy pol,
       az(bodies.size(), 0.0);
   hls::loop_options o = opt;
   o.trace = tr;
+  o.site = HLS_LOOP_SITE("force_pass");
   hls::for_each(
       rt, 0, n, pol,
       [&](std::int64_t i) {
@@ -88,6 +92,8 @@ int main(int argc, char** argv) {
   const int steps = static_cast<int>(cli.get_int("steps", 8));
 
   hls::rt::runtime rt(workers);
+  hls::telemetry::run_session tel(rt.tel(),
+                                  hls::telemetry::run_options::from_cli(cli));
   hls::table t({"configuration", "final KE proxy", "affinity"});
 
   struct cfg {
@@ -129,5 +135,5 @@ int main(int argc, char** argv) {
       "fewer physical cores than workers the OS serializes workers and the\n"
       "affinity column becomes timing-noise; the 32-core behaviour is\n"
       "validated deterministically in tests/weighted_split_test.cpp.)\n");
-  return 0;
+  return tel.finish(std::cout) ? 0 : 1;
 }

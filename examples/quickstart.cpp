@@ -2,7 +2,7 @@
 //
 //   build/examples/quickstart [--workers=4] [--n=1000000]
 //                             [--telemetry] [--trace-out=trace.json]
-//                             [--chaos=SPEC]
+//                             [--metrics-out=metrics.jsonl] [--chaos=SPEC]
 //
 // Creates a work-stealing runtime, runs a parallel loop under the paper's
 // hybrid scheduling scheme, and shows that switching the policy is a
@@ -27,11 +27,10 @@ int main(int argc, char** argv) {
   const auto workers = static_cast<std::uint32_t>(
       cli.get_int_in("workers", 4, 1, hls::rt::runtime::kMaxWorkers));
   const std::int64_t n = cli.get_int("n", 1'000'000);
-  const auto tel_opt = hls::telemetry::run_options::from_cli(cli);
-
   // A runtime with P workers; the calling thread acts as worker 0.
   hls::rt::runtime rt(workers);
-  hls::telemetry::apply(rt.tel(), tel_opt);
+  hls::telemetry::run_session tel(rt.tel(),
+                                  hls::telemetry::run_options::from_cli(cli));
   if (cli.has("chaos")) {
     rt.set_chaos(hls::faultsim::make_injector(cli.get("chaos", ""), workers));
   }
@@ -39,9 +38,14 @@ int main(int argc, char** argv) {
   std::vector<double> data(static_cast<std::size_t>(n));
 
   // The paper's hybrid scheme: static partitions + XOR claim heuristic +
-  // work stealing inside partitions.
-  hls::for_each(rt, 0, n, hls::policy::hybrid,
-                [&](std::int64_t i) { data[static_cast<std::size_t>(i)] = 1.0 / (1.0 + i); });
+  // work stealing inside partitions. The site handle names this loop in
+  // --metrics-out profiles.
+  hls::loop_options lopt;
+  lopt.site = HLS_LOOP_SITE("fill");
+  hls::for_each(
+      rt, 0, n, hls::policy::hybrid,
+      [&](std::int64_t i) { data[static_cast<std::size_t>(i)] = 1.0 / (1.0 + i); },
+      lopt);
 
   const double sum = std::accumulate(data.begin(), data.end(), 0.0);
   std::printf("hybrid:      harmonic-ish sum = %.6f\n", sum);
@@ -61,5 +65,5 @@ int main(int argc, char** argv) {
     std::printf("%-12s chunked re-sum  = %.6f\n", hls::policy_name(pol),
                 check);
   }
-  return hls::telemetry::finish(std::cout, rt.tel(), tel_opt) ? 0 : 1;
+  return tel.finish(std::cout) ? 0 : 1;
 }

@@ -91,6 +91,15 @@ EOF
 build/bench/fig1_micro --json > build/BENCH_fig1_micro.json
 python3 -m json.tool --json-lines build/BENCH_fig1_micro.json > /dev/null
 
+# Perf-regression gate: both archives are diffed against the committed
+# baselines (bench/baseline/); a >15% regression fails the run. Regenerate
+# a stale baseline with HLS_PERF_BASELINE_UPDATE=1 and commit it.
+echo "== perf gate"
+python3 scripts/perf_gate.py --current build/BENCH_rt_primitives.json \
+  --baseline bench/baseline/BENCH_rt_primitives.json --format gbench
+python3 scripts/perf_gate.py --current build/BENCH_fig1_micro.json \
+  --baseline bench/baseline/BENCH_fig1_micro.json --format fig1
+
 # Telemetry end-to-end: a traced run must produce valid Chrome trace JSON
 # and a parsable JSON-lines report.
 build/bench/rt_telemetry --telemetry --telemetry-format=json --json \
@@ -98,6 +107,34 @@ build/bench/rt_telemetry --telemetry --telemetry-format=json --json \
 python3 -m json.tool build/rt_telemetry_trace.json > /dev/null
 build/examples/quickstart --telemetry --trace-out=build/quickstart_trace.json > /dev/null
 python3 -m json.tool build/quickstart_trace.json > /dev/null
+
+# Metrics smoke: a --metrics-out run must emit parsable JSON-lines samples
+# at the configured rate, per-site invocation records whose deltas close
+# against the residual line, and a Prometheus exposition with quantiles.
+# The archive (build/METRICS_smoke.jsonl + .prom) is kept for inspection.
+echo "== metrics smoke"
+build/examples/heat_stencil --steps=40 --metrics-out=build/METRICS_smoke.jsonl \
+  --metrics-hz=50 > /dev/null
+python3 - <<'EOF'
+import json
+kinds = {}
+with open("build/METRICS_smoke.jsonl") as f:
+    rows = [json.loads(l) for l in f if l.strip()]
+for r in rows:
+    kinds[r["kind"]] = kinds.get(r["kind"], 0) + 1
+assert kinds.get("sample", 0) >= 2, kinds        # start + stop at minimum
+assert kinds.get("invocation", 0) >= 1, kinds
+assert kinds.get("residual", 0) == 1, kinds
+# Accounting identity: recorded + residual == totals, per SUM counter.
+res = next(r for r in rows if r["kind"] == "residual")
+for k, total in res["totals"].items():
+    if k == "max_claim_seq_len":
+        continue  # watermark: not differentiable
+    assert res["recorded"][k] + res["residual"][k] == total, k
+prom = open("build/METRICS_smoke.jsonl.prom").read()
+assert 'hls_chunk_duration_ns{quantile="0.99"}' in prom
+assert "hls_loop_site_invocations_total{site=" in prom
+EOF
 
 for e in quickstart heat_stencil adaptive_quadrature simulate_machine \
          nbody_weighted; do
@@ -118,7 +155,8 @@ for t in deque_test runtime_test parking_test parallel_for_test \
          hybrid_loop_test task_pool_test task_group_test stress_test \
          reduce_test sched_features_test micro_workload_test \
          telemetry_test telemetry_runtime_test faultsim_test \
-         hardening_test chaos_sched_test range_slot_test; do
+         hardening_test chaos_sched_test range_slot_test \
+         profiler_test metrics_export_test; do
   echo "== TSAN $t"
   "build-tsan/tests/$t" --gtest_brief=1
 done

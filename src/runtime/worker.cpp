@@ -188,16 +188,28 @@ void worker::pause(int idle_count, park_predicate done) {
     telemetry::bump(tel_.counters.idle_sleeps);
     const std::uint64_t dt = tel_.now() - t0;
     telemetry::bump(tel_.counters.idle_sleep_ns, dt);
+    const bool notified = out.reason == parking_lot::wake_reason::notified;
     // A targeted wake that finds no visible work means the work was taken
     // before this worker arrived; tracked so wake efficiency is
     // observable. A wake that delivered a completion edge (the caller's
     // predicate now holds) did its job and is not spurious.
-    if (out.reason == parking_lot::wake_reason::notified &&
-        !rt_.work_visible(id_) && !done.satisfied()) {
+    if (notified && !rt_.work_visible(id_) && !done.satisfied()) {
       telemetry::bump(tel_.counters.wakes_spurious);
     }
+    // Arm the wake-to-first-chunk measurement: a notified unpark that did
+    // not deliver the completion edge is the "go run loop work" case the
+    // push-based work-sharing PR wants latency for; the next chunk this
+    // worker starts closes the interval (registry.h, wake_to_chunk_hist).
+    // Timeout/stop wakeups disarm instead so backstop parks don't pollute
+    // the histogram.
+    if (notified && !done.satisfied()) {
+      tel_.mark_woken(t0 + dt);
+    } else {
+      tel_.clear_pending_wake();
+    }
     if (tel_.events_on()) {
-      tel_.emit({t0, dt, 0, 0, telemetry::event_kind::idle_span});
+      tel_.emit({t0, dt, notified ? 1 : 0, 0,
+                 telemetry::event_kind::idle_span});
     }
   }
 }

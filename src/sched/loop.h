@@ -29,6 +29,10 @@ namespace hls::trace {
 class loop_trace;
 }
 
+namespace hls::telemetry {
+struct loop_site;
+}
+
 namespace hls {
 
 struct loop_options {
@@ -62,6 +66,13 @@ struct loop_options {
   // span under this label in the Chrome trace export; unnamed loops show
   // up under their policy name. Must outlive the call.
   const char* label = nullptr;
+
+  // Optional loop-site identity for the profiler (telemetry/profiler.h):
+  // when a loop_profiler is installed on the runtime's registry, each
+  // invocation records under this site's file:line key (usually captured
+  // with HLS_LOOP_SITE). Null falls back to `label`, then to the policy
+  // name. Must outlive the call; no effect when profiling is off.
+  const telemetry::loop_site* site = nullptr;
 
   // Optional per-iteration work annotation (paper Section VI extension):
   // when set, the hybrid policy's earmarked partitions equalize weight sums

@@ -9,6 +9,7 @@
 
 #include "faultsim/faultsim.h"
 #include "sched/policies.h"
+#include "telemetry/profiler.h"
 #include "telemetry/registry.h"
 #include "trace/loop_trace.h"
 #include "util/bits.h"
@@ -124,12 +125,24 @@ loop_result parallel_for(rt::runtime& rt, std::int64_t begin, std::int64_t end,
   const std::int64_t grain =
       opt.grain > 0 ? opt.grain : default_grain(n, p);
 
+  // Profiling is one relaxed pointer load when off; the probe is inert
+  // (every method an early-out branch) unless a loop_profiler is installed.
+  telemetry::invocation_probe probe(rt.tel(), rt.tel().profiler());
+
   rt::worker* me_ptr = rt::current_worker_or_null();
   if (me_ptr == nullptr || &me_ptr->rt() != &rt) {
     // A foreign thread has no deque, no board access, and no telemetry
-    // lane; running the loop serially on it is the only sound option.
+    // lane; running the loop serially on it is the only sound option. The
+    // profiler still sees it (flagged serial_degrade) so degraded
+    // invocations show up in per-site profiles instead of vanishing.
     warn_foreign_thread_once();
-    return run_serial_foreign(begin, end, body, opt, grain);
+    probe.setup_done();
+    const loop_result res = run_serial_foreign(begin, end, body, opt, grain);
+    probe.work_done();
+    probe.commit(opt.site, opt.label, pol, 0, grain, n,
+                 static_cast<std::uint8_t>(res.status), res.skipped,
+                 /*serial_degrade=*/true);
+    return res;
   }
   rt::worker& me = *me_ptr;
 
@@ -141,8 +154,11 @@ loop_result parallel_for(rt::runtime& rt, std::int64_t begin, std::int64_t end,
       cancel_flag != nullptr || opt.deadline.count() > 0;
 
   if (pol == policy::serial && !stop_hazards) {
+    probe.setup_done();
     body(begin, end);
+    probe.work_done();
     if (opt.trace != nullptr) opt.trace->record(me.id(), begin, end);
+    probe.commit(opt.site, opt.label, pol, 0, grain, n, 0, 0, false);
     return {};
   }
 
@@ -175,11 +191,16 @@ loop_result parallel_for(rt::runtime& rt, std::int64_t begin, std::int64_t end,
     // Serial with a cancel token or deadline: chunked through run_chunk so
     // stop polling, skip accounting, and counters behave like the parallel
     // policies.
+    probe.setup_done();
     for (std::int64_t lo = begin; lo < end; lo += grain) {
       ctx->run_chunk(me, lo, std::min(end, lo + grain));
     }
+    probe.work_done();
     ctx->rethrow_if_failed();
-    return result_of();
+    const loop_result res = result_of();
+    probe.commit(opt.site, opt.label, pol, 0, grain, n,
+                 static_cast<std::uint8_t>(res.status), res.skipped, false);
+    return res;
   }
 
   if (pol == policy::dynamic_ws) {
@@ -187,12 +208,18 @@ loop_result parallel_for(rt::runtime& rt, std::int64_t begin, std::int64_t end,
     // range slot and consumes it chunk by chunk; idle workers join by
     // stealing only — the upper half off the slot (or, on the eager
     // fallback paths, divide-and-conquer subtasks off the deque).
+    probe.setup_done();
     sched::range_span::run(me, ctx, begin, end);
+    probe.work_done();
     me.work_until([&] { return ctx->finished(); });
     ctx->rethrow_if_failed();
-    return result_of();
+    const loop_result res = result_of();
+    probe.commit(opt.site, opt.label, pol, 0, grain, n,
+                 static_cast<std::uint8_t>(res.status), res.skipped, false);
+    return res;
   }
 
+  std::uint32_t eff_parts = 0;  // effective R; stays 0 for non-hybrid
   std::shared_ptr<rt::loop_record> rec;
   if (pol == policy::static_part) {
     rec = std::make_shared<sched::static_record>(ctx, p);
@@ -204,6 +231,7 @@ loop_result parallel_for(rt::runtime& rt, std::int64_t begin, std::int64_t end,
     rec = std::make_shared<sched::guided_record>(ctx, opt.min_chunk, p);
   } else {
     const std::uint32_t parts = opt.partitions > 0 ? opt.partitions : p;
+    eff_parts = parts;
     if (opt.iteration_weight) {
       rec = std::make_shared<sched::hybrid_record>(ctx, parts,
                                                    opt.iteration_weight);
@@ -223,6 +251,7 @@ loop_result parallel_for(rt::runtime& rt, std::int64_t begin, std::int64_t end,
     slot = rt.loop_board().post(rec, me.id());
   }
   rt.notify_work();
+  probe.setup_done();
   if (slot < 0 && pol == policy::static_part) {
     // Board overflow: strict static needs every worker to arrive, which
     // cannot be guaranteed without a slot. Degrade to executing the
@@ -242,10 +271,14 @@ loop_result parallel_for(rt::runtime& rt, std::int64_t begin, std::int64_t end,
   } else {
     rec->participate(me);
   }
+  probe.work_done();
   me.work_until([&] { return ctx->finished(); });
   rt.loop_board().clear(slot);
   ctx->rethrow_if_failed();
-  return result_of();
+  const loop_result res = result_of();
+  probe.commit(opt.site, opt.label, pol, eff_parts, grain, n,
+               static_cast<std::uint8_t>(res.status), res.skipped, false);
+  return res;
 }
 
 }  // namespace hls

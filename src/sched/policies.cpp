@@ -33,6 +33,11 @@ void loop_ctx::run_chunk(rt::worker& w, std::int64_t lo, std::int64_t hi) {
   // mode; the always-on path is pure relaxed counter stores.
   const bool timed = tel.events_on();
   const std::uint64_t t0 = timed ? tel.now() : 0;
+  // First chunk after a notified unpark closes the wake-to-first-chunk
+  // interval. The pending flag is owner-thread-only and almost always
+  // clear, so this costs one predictable branch; the clock read happens
+  // only on the rare armed path (or reuses t0 when tracing already read it).
+  if (tel.wake_pending()) tel.note_chunk_started(timed ? t0 : tel.now());
   // Drain mode: once a body has thrown or the loop was cancelled / timed
   // out, remaining chunks skip their bodies but still retire, so the loop
   // terminates and claim accounting stays consistent.

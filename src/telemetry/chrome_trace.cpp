@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <ostream>
 #include <string>
 
@@ -114,6 +115,29 @@ void chrome_trace_writer::add_instant(int pid, int tid,
   suffix(args_json);
 }
 
+std::vector<wake_span> stitch_wake_spans(
+    const std::vector<worker_event>& evs) {
+  std::vector<wake_span> out;
+  // Pending wake timestamp per worker; 0 = disarmed (the registry epoch
+  // itself is never a wake time: events start strictly after it).
+  std::map<std::uint32_t, std::uint64_t> armed;
+  for (const worker_event& we : evs) {
+    const event& e = we.ev;
+    if (e.kind == event_kind::idle_span) {
+      // A notified unpark arms; a timeout/stop unpark disarms (same
+      // semantics as worker_state::mark_woken / clear_pending_wake).
+      armed[we.worker] = e.a == 1 ? e.ts_ns + e.dur_ns : 0;
+    } else if (e.kind == event_kind::chunk_span) {
+      std::uint64_t& at = armed[we.worker];
+      if (at != 0 && e.ts_ns >= at) {
+        out.push_back({we.worker, at, e.ts_ns});
+        at = 0;
+      }
+    }
+  }
+  return out;
+}
+
 std::size_t write_worker_events(chrome_trace_writer& w, registry& reg) {
   w.add_process_name(kWorkerPid, "hls workers");
   for (std::uint32_t i = 0; i < reg.num_workers(); ++i) {
@@ -145,7 +169,9 @@ std::size_t write_worker_events(chrome_trace_writer& w, registry& reg) {
         break;
       }
       case event_kind::idle_span:
-        w.add_complete(kWorkerPid, tid, "idle", e.ts_ns, e.dur_ns);
+        w.add_complete(kWorkerPid, tid, "idle", e.ts_ns, e.dur_ns,
+                       e.a == 1 ? "\"wake\":\"notified\""
+                                : "\"wake\":\"timeout\"");
         break;
       case event_kind::claim_ok:
         w.add_instant(kWorkerPid, tid, "claim", e.ts_ns,
@@ -167,7 +193,18 @@ std::size_t write_worker_events(chrome_trace_writer& w, registry& reg) {
         break;
     }
   }
-  return evs.size();
+  // Derived spans: notified unpark -> first chunk begin, per worker. They
+  // overlay the gap between the idle span and the chunk span so the wake
+  // latency the push-based work-sharing work targets is visible directly.
+  std::size_t derived = 0;
+  for (const wake_span& s : stitch_wake_spans(evs)) {
+    w.add_complete(kWorkerPid, static_cast<int>(s.worker),
+                   "wake_to_first_chunk", s.wake_ns, s.latency_ns(),
+                   "\"latency_ns\":" +
+                       i64(static_cast<std::int64_t>(s.latency_ns())));
+    ++derived;
+  }
+  return evs.size() + derived;
 }
 
 std::size_t append_loop_trace(chrome_trace_writer& w,

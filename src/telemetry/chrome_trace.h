@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 namespace hls::trace {
 class loop_trace;
@@ -20,6 +21,7 @@ class loop_trace;
 namespace hls::telemetry {
 
 class registry;
+struct worker_event;
 
 // Track (pid) layout of the emitted file.
 inline constexpr int kWorkerPid = 0;     // runtime worker events, wall time
@@ -68,6 +70,23 @@ class chrome_trace_writer {
 // spans for tasks/chunks/partitions/loops/idle gaps, instants for claim
 // attempts and steals. Returns the number of events written.
 std::size_t write_worker_events(chrome_trace_writer& w, registry& reg);
+
+// A derived span stitched from recorded events rather than emitted live:
+// the latency from a notified unpark (idle_span end with a == 1) to the
+// first chunk_span begin on the same worker afterwards.
+struct wake_span {
+  std::uint32_t worker = 0;
+  std::uint64_t wake_ns = 0;   // idle_span end (the unpark)
+  std::uint64_t chunk_ns = 0;  // first chunk begin after the wake
+  std::uint64_t latency_ns() const noexcept { return chunk_ns - wake_ns; }
+};
+
+// Stitches wake_to_first_chunk spans out of a timestamp-sorted event dump
+// (the shape collect_events/drain_events return). A notified idle_span
+// arms its worker; the next chunk_span on that worker closes the span. A
+// second park before any chunk re-arms (the earlier wake led to no work
+// and is dropped, matching the live histogram's disarm semantics).
+std::vector<wake_span> stitch_wake_spans(const std::vector<worker_event>& evs);
 
 // Appends a recorded loop trace (trace/loop_trace.h) to the same file on
 // its own process track, using the global execution sequence as the time

@@ -25,7 +25,9 @@ enum class event_kind : std::uint8_t {
   chunk_span,      // one loop body chunk              a=lo       b=hi
   partition_span,  // one claimed hybrid partition     a=r        b=0
   loop_span,       // one parallel_for on the poster   a=code     b=iters
-  idle_span,       // one timed idle sleep             a=0        b=0
+  idle_span,       // one timed idle sleep             a=reason   b=0
+                   //   a: 1 = woken by a targeted notify, 0 = timeout/stop
+                   //   (lets the trace exporter stitch wake_to_first_chunk)
   claim_ok,        // successful hybrid claim          a=r        b=index
   claim_fail,      // failed hybrid claim              a=r        b=index
   steal,           // successful deque steal           a=victim   b=probes

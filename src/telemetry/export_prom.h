@@ -1,0 +1,56 @@
+// Metrics export: Prometheus text exposition and JSONL flushers.
+//
+// Two output shapes from the same data:
+//
+//   * write_prometheus  — the standard text exposition format (one final
+//     scrape-shaped snapshot): every counter as `hls_<name>_total`, each
+//     pow2 histogram as a summary with p50/p95/p99 quantiles (derived via
+//     histogram_percentile, the same helper the human report uses) plus
+//     _sum/_count, and per-loop-site aggregates with `site`/`n_bucket`
+//     labels.
+//   * write_samples_jsonl / write_profiles_jsonl — newline-delimited JSON
+//     for offline analysis: the sampler's time series (one object per
+//     sample) and the profiler's per-invocation records (one object per
+//     record, closed by site aggregates and a `residual` line so the
+//     counter deltas provably sum to the global end-of-run snapshot).
+//
+// write_metrics_files ties it together for the --metrics-out / HLS_METRICS
+// flag: JSONL at PATH, Prometheus exposition at PATH + ".prom".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/profiler.h"
+#include "telemetry/registry.h"
+#include "telemetry/sampler.h"
+
+namespace hls::telemetry {
+
+// Prometheus text exposition of the registry's current state. `smp` and
+// `prof` are optional; when present the sampler contributes its sample
+// count and the profiler its per-site aggregates.
+void write_prometheus(std::ostream& os, const registry& reg,
+                      const sampler* smp = nullptr,
+                      const loop_profiler* prof = nullptr);
+
+// One JSON object per retained sample, oldest first, `"kind":"sample"`.
+void write_samples_jsonl(std::ostream& os, const sampler& smp);
+
+// One JSON object per retained invocation record (`"kind":"invocation"`),
+// then one per site aggregate (`"kind":"site"`), then a single
+// `"kind":"residual"` object carrying registry totals minus the profiler's
+// recorded total — so summing every invocation delta plus every evicted
+// record's contribution (folded into the residual is only the *un*recorded
+// activity; evicted records stay inside recorded_total) plus the residual
+// reproduces the global snapshot exactly.
+void write_profiles_jsonl(std::ostream& os, const registry& reg,
+                          const loop_profiler& prof);
+
+// Writes JSONL (samples + profiles) to `path` and the Prometheus
+// exposition to `path + ".prom"`. Returns false (and writes nothing
+// further) if either file cannot be opened.
+bool write_metrics_files(const std::string& path, const registry& reg,
+                         const sampler* smp, const loop_profiler* prof);
+
+}  // namespace hls::telemetry

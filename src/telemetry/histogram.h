@@ -61,6 +61,40 @@ struct histogram_snapshot {
   }
 };
 
+// Percentile with linear interpolation inside the pow2 bucket: the rank
+// q*count is located in its bucket, then positioned between bucket_lo and
+// bucket_hi proportionally to how far into the bucket's mass it falls.
+// Shared by the human-readable report and the Prometheus/JSONL exporters so
+// both quote the same numbers. Resolution is still bounded by the bucket
+// width (a factor of 2), but interpolation removes the systematic
+// round-to-bucket-top bias of histogram_snapshot::quantile().
+inline double histogram_percentile(const histogram_snapshot& h,
+                                   double q) noexcept {
+  if (h.count == 0) return 0.0;
+  if (q <= 0.0) q = 0.0;
+  if (q >= 1.0) return static_cast<double>(h.max);
+  const double target = q * static_cast<double>(h.count);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < histogram_snapshot::kBuckets; ++b) {
+    if (h.buckets[b] == 0) continue;
+    const std::uint64_t prev = seen;
+    seen += h.buckets[b];
+    if (static_cast<double>(seen) < target) continue;
+    const double into =
+        (target - static_cast<double>(prev)) / static_cast<double>(h.buckets[b]);
+    const double lo = static_cast<double>(histogram_snapshot::bucket_lo(b));
+    // Clamp the top bucket to the observed max instead of 2^64.
+    const double hi =
+        b == histogram_snapshot::kBuckets - 1 || h.buckets[b] == 0
+            ? static_cast<double>(h.max)
+            : static_cast<double>(histogram_snapshot::bucket_hi(b));
+    const double cap = static_cast<double>(h.max);
+    const double v = lo + into * (hi - lo);
+    return v > cap ? cap : v;
+  }
+  return static_cast<double>(h.max);
+}
+
 class pow2_histogram {
  public:
   static constexpr int kBuckets = histogram_snapshot::kBuckets;

@@ -43,6 +43,7 @@ inline std::uint64_t steady_now_ns() noexcept {
 }
 
 class registry;
+class loop_profiler;
 
 // An event together with the worker that recorded it (drained form).
 struct worker_event {
@@ -61,6 +62,12 @@ struct worker_state {
 
   // Populated only while event tracing is on (needs clock reads).
   pow2_histogram chunk_ns_hist;  // chunk body duration, ns
+
+  // Always-on: latency from a notified unpark to the first chunk this
+  // worker starts afterwards (the push-based work-sharing baseline). The
+  // park path already reads the clock, so arming costs nothing; the only
+  // extra clock read happens on the first chunk after a wake.
+  pow2_histogram wake_to_chunk_hist;
 
   std::uint32_t worker_id() const noexcept { return id_; }
 
@@ -83,12 +90,33 @@ struct worker_state {
                            std::uint64_t max_consec_failures,
                            std::uint64_t partitions) noexcept;
 
+  // ---- wake-to-first-chunk latency (owner thread only) ---------------
+  // The park path calls mark_woken(t) when a blocked park ends because of
+  // a notify; the chunk path calls note_chunk_started(t) on the next chunk
+  // begin, which records t - wake into wake_to_chunk_hist and disarms.
+  // Timeout/stop wakeups call clear_pending_wake() instead. All plain
+  // fields: only the owning worker touches them.
+  void mark_woken(std::uint64_t t_ns) noexcept {
+    pending_wake_ns_ = t_ns;
+    wake_pending_ = true;
+  }
+  void clear_pending_wake() noexcept { wake_pending_ = false; }
+  bool wake_pending() const noexcept { return wake_pending_; }
+  void note_chunk_started(std::uint64_t t_ns) noexcept {
+    wake_pending_ = false;
+    wake_to_chunk_hist.record(t_ns >= pending_wake_ns_
+                                  ? t_ns - pending_wake_ns_
+                                  : 0);
+  }
+
  private:
   friend class registry;
   registry* owner_ = nullptr;
   std::atomic<event_ring*> ring_{nullptr};
   std::uint64_t epoch_ns_ = 0;
   std::uint32_t id_ = 0;
+  std::uint64_t pending_wake_ns_ = 0;
+  bool wake_pending_ = false;
 };
 
 class registry {
@@ -132,6 +160,21 @@ class registry {
   }
   histogram_snapshot chunk_ns_histogram() const noexcept {
     return merged(&worker_state::chunk_ns_hist);
+  }
+  histogram_snapshot wake_to_chunk_histogram() const noexcept {
+    return merged(&worker_state::wake_to_chunk_hist);
+  }
+
+  // ---- loop profiler hookup -----------------------------------------
+  // The registry does not own the profiler (a run_session or test does);
+  // it only publishes the pointer so parallel_for can find it with one
+  // relaxed load. Install nullptr to turn profiling off. The caller must
+  // keep the profiler alive until no loop can still be running.
+  void set_profiler(loop_profiler* p) noexcept {
+    profiler_.store(p, std::memory_order_release);
+  }
+  loop_profiler* profiler() const noexcept {
+    return profiler_.load(std::memory_order_relaxed);
   }
 
   // ---- event tracing ------------------------------------------------
@@ -193,6 +236,7 @@ class registry {
 
   std::atomic<std::uint64_t> lemma4_violations_{0};
   std::atomic<lemma4_hook> lemma4_hook_{nullptr};
+  std::atomic<loop_profiler*> profiler_{nullptr};
 };
 
 inline bool worker_state::events_on() const noexcept {

@@ -1,9 +1,11 @@
 #include "telemetry/report.h"
 
+#include <cstdlib>
 #include <ostream>
 #include <vector>
 
 #include "telemetry/chrome_trace.h"
+#include "telemetry/export_prom.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -34,9 +36,13 @@ void hist_row(table& t, const char* name, const histogram_snapshot& h) {
   const double mean =
       h.count == 0 ? 0.0
                    : static_cast<double>(h.sum) / static_cast<double>(h.count);
+  // histogram_percentile interpolates inside the pow2 bucket — the same
+  // numbers the Prometheus/JSONL exporters quote.
   t.add_row({name, u64s(h.count), table::fmt(mean, 1),
-             u64s(h.quantile(0.50)), u64s(h.quantile(0.90)),
-             u64s(h.quantile(0.99)), u64s(h.max)});
+             table::fmt(histogram_percentile(h, 0.50), 1),
+             table::fmt(histogram_percentile(h, 0.95), 1),
+             table::fmt(histogram_percentile(h, 0.99), 1),
+             u64s(h.max)});
 }
 
 }  // namespace
@@ -80,10 +86,11 @@ void print_counters(std::ostream& os, const registry& reg,
 
 void print_histograms(std::ostream& os, const registry& reg,
                       report_format fmt) {
-  table t({"histogram", "count", "mean", "p50", "p90", "p99", "max"});
+  table t({"histogram", "count", "mean", "p50", "p95", "p99", "max"});
   hist_row(t, "claim_seq_len", reg.claim_seq_histogram());
   hist_row(t, "steal_probes_per_round", reg.steal_probe_histogram());
   hist_row(t, "chunk_ns", reg.chunk_ns_histogram());
+  hist_row(t, "wake_to_first_chunk_ns", reg.wake_to_chunk_histogram());
   emit(os, t, fmt, "histograms");
 }
 
@@ -121,6 +128,13 @@ run_options run_options::from_cli(const cli& c) {
   o.trace_out = c.get("trace-out", "");
   const std::int64_t ring = c.get_int("trace-ring", 0);
   if (ring > 0) o.ring_capacity = static_cast<std::size_t>(ring);
+  // HLS_METRICS is the flagless fallback so wrappers (CI smoke, profiling
+  // a bench that owns its own argv) can turn metrics on from outside.
+  const char* env = std::getenv("HLS_METRICS");
+  o.metrics_out = c.get("metrics-out", env != nullptr ? env : "");
+  o.metrics_hz = c.get_double("metrics-hz", 10.0);
+  const std::int64_t pring = c.get_int("profile-ring", 0);
+  if (pring > 0) o.profile_ring = static_cast<std::size_t>(pring);
   return o;
 }
 
@@ -149,6 +163,58 @@ bool finish(std::ostream& os, registry& reg, const run_options& opt,
     os << "telemetry: cannot write trace file " << opt.trace_out << "\n";
   }
   return ok;
+}
+
+// --------------------------------------------------------- run_session
+
+run_session::run_session(registry& reg, run_options opt)
+    : reg_(reg), opt_(std::move(opt)) {
+  apply(reg_, opt_);
+  if (!opt_.metrics()) return;
+  profiler_ = std::make_unique<loop_profiler>(
+      loop_profiler::options{opt_.profile_ring});
+  reg_.set_profiler(profiler_.get());
+  sampler_ = std::make_unique<sampler>(
+      reg_, sampler::options{opt_.metrics_hz, /*ring_capacity=*/4096});
+  sampler_->start();
+}
+
+run_session::~run_session() { teardown(); }
+
+void run_session::teardown() {
+  // Uninstall before the profiler dies; no loop may still be running by
+  // the time a driver destroys its session (the runtime outlives it, so
+  // this is the driver's sequencing to keep, same as for trace buffers).
+  if (profiler_ != nullptr) reg_.set_profiler(nullptr);
+  if (sampler_ != nullptr) sampler_->stop();
+}
+
+bool run_session::finish(std::ostream& os, const trace::loop_trace* lt) {
+  if (finished_) return true;
+  finished_ = true;
+  teardown();
+  bool ok = telemetry::finish(os, reg_, opt_, lt);
+  if (!opt_.metrics()) return ok;
+  const bool mok = write_metrics_files(opt_.metrics_out, reg_,
+                                       sampler_.get(), profiler_.get());
+  if (opt_.format == report_format::json) {
+    std::string path;
+    for (char c : opt_.metrics_out) {
+      if (c == '"' || c == '\\') path += '\\';
+      path += c;
+    }
+    os << "{\"section\":\"metrics\",\"file\":\"" << path
+       << "\",\"samples\":" << (sampler_ != nullptr ? sampler_->taken() : 0)
+       << ",\"loop_invocations\":"
+       << (profiler_ != nullptr ? profiler_->invocations() : 0)
+       << ",\"written\":" << (mok ? "true" : "false") << "}\n";
+  } else if (mok) {
+    os << "telemetry: metrics written to " << opt_.metrics_out
+       << " (JSONL) and " << opt_.metrics_out << ".prom (Prometheus)\n";
+  } else {
+    os << "telemetry: cannot write metrics file " << opt_.metrics_out << "\n";
+  }
+  return ok && mok;
 }
 
 }  // namespace hls::telemetry

@@ -11,13 +11,26 @@
 //   --trace-out=FILE             enable event rings; write Chrome trace
 //                                JSON to FILE at exit (open in Perfetto)
 //   --trace-ring=N               per-worker event ring capacity (events)
+//   --metrics-out=FILE           enable the loop profiler + sampler; write
+//                                JSONL to FILE and Prometheus exposition to
+//                                FILE.prom at exit (HLS_METRICS env is the
+//                                flagless fallback)
+//   --metrics-hz=HZ              sampler rate (default 10)
+//   --profile-ring=N             invocation records kept per loop site
+//
+// run_session bundles the whole lifecycle (apply -> work -> finish) for
+// drivers, so every example/bench wires the flags identically instead of
+// each main hand-rolling a subset (the flag drift this replaces).
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 
+#include "telemetry/profiler.h"
 #include "telemetry/registry.h"
+#include "telemetry/sampler.h"
 
 namespace hls {
 class cli;
@@ -34,7 +47,7 @@ enum class report_format { pretty, csv, json };
 void print_counters(std::ostream& os, const registry& reg,
                     report_format fmt = report_format::pretty);
 
-// Summary rows for the always-on histograms (count/mean/p50/p90/p99/max)
+// Summary rows for the always-on histograms (count/mean/p50/p95/p99/max)
 // and the chunk-duration histogram when event tracing populated it.
 void print_histograms(std::ostream& os, const registry& reg,
                       report_format fmt = report_format::pretty);
@@ -50,11 +63,15 @@ struct run_options {
   report_format format = report_format::pretty;
   std::string trace_out;        // --trace-out=FILE ("" = off)
   std::size_t ring_capacity = registry::kDefaultRingCapacity;
+  std::string metrics_out;      // --metrics-out=FILE / HLS_METRICS ("" = off)
+  double metrics_hz = 10.0;     // --metrics-hz
+  std::size_t profile_ring = 32;  // --profile-ring
 
   static run_options from_cli(const cli& c);
 
   bool tracing() const noexcept { return !trace_out.empty(); }
-  bool any() const noexcept { return report || tracing(); }
+  bool metrics() const noexcept { return !metrics_out.empty(); }
+  bool any() const noexcept { return report || tracing() || metrics(); }
 };
 
 // Call before the measured work: turns event recording on when tracing
@@ -66,5 +83,37 @@ void apply(registry& reg, const run_options& opt);
 // not be written.
 bool finish(std::ostream& os, registry& reg, const run_options& opt,
             const trace::loop_trace* lt = nullptr);
+
+// The one-object driver lifecycle: construct after the runtime (applies
+// the options, installs the loop profiler on the registry, and starts the
+// sampler when --metrics-out is set), run the workload, then call
+// finish() once to stop sampling, print the report, and write the trace /
+// metrics files. The destructor tears everything down (uninstalls the
+// profiler, stops the sampler) without output if finish() was never
+// called, so early exits stay safe.
+class run_session {
+ public:
+  run_session(registry& reg, run_options opt);
+  ~run_session();
+
+  run_session(const run_session&) = delete;
+  run_session& operator=(const run_session&) = delete;
+
+  const run_options& options() const noexcept { return opt_; }
+  loop_profiler* profiler() noexcept { return profiler_.get(); }
+  sampler* metrics_sampler() noexcept { return sampler_.get(); }
+
+  // Returns false if any requested output file could not be written.
+  bool finish(std::ostream& os, const trace::loop_trace* lt = nullptr);
+
+ private:
+  void teardown();
+
+  registry& reg_;
+  const run_options opt_;
+  std::unique_ptr<loop_profiler> profiler_;
+  std::unique_ptr<sampler> sampler_;
+  bool finished_ = false;
+};
 
 }  // namespace hls::telemetry

@@ -1,0 +1,100 @@
+#include "telemetry/sampler.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace hls::telemetry {
+
+sampler::sampler(registry& reg) : sampler(reg, options{}) {}
+
+sampler::sampler(registry& reg, options opt) : reg_(reg), opt_(opt) {
+  // Clamp pathological configs instead of dividing by zero or allocating
+  // an empty ring.
+  const_cast<options&>(opt_).hz = std::clamp(opt_.hz, 0.001, 100000.0);
+  const_cast<options&>(opt_).ring_capacity =
+      std::max<std::size_t>(1, opt_.ring_capacity);
+}
+
+sampler::~sampler() { stop(); }
+
+void sampler::capture_locked() {
+  metrics_sample s;
+  s.ts_ns = reg_.now();
+  s.totals = reg_.totals();
+  s.claim_seq = reg_.claim_seq_histogram();
+  s.steal_probe = reg_.steal_probe_histogram();
+  s.chunk_ns = reg_.chunk_ns_histogram();
+  s.wake_to_chunk_ns = reg_.wake_to_chunk_histogram();
+  s.lemma4_violations = reg_.lemma4_violations();
+  ++taken_;
+  if (ring_.size() < opt_.ring_capacity) {
+    ring_.push_back(std::move(s));
+  } else {
+    ring_[next_] = std::move(s);
+    next_ = (next_ + 1) % opt_.ring_capacity;
+  }
+}
+
+void sampler::start() {
+  {
+    hls::scoped_lock<annotated_mutex> lk(mu_);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+    capture_locked();  // sample 0 anchors the series at start time
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+void sampler::stop() {
+  {
+    std::unique_lock<annotated_mutex> lk(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  hls::scoped_lock<annotated_mutex> lk(mu_);
+  capture_locked();  // final sample covers the stop point
+  running_ = false;
+}
+
+bool sampler::running() const {
+  hls::scoped_lock<annotated_mutex> lk(mu_);
+  return running_;
+}
+
+std::uint64_t sampler::taken() const {
+  hls::scoped_lock<annotated_mutex> lk(mu_);
+  return taken_;
+}
+
+std::vector<metrics_sample> sampler::snapshot() const {
+  hls::scoped_lock<annotated_mutex> lk(mu_);
+  std::vector<metrics_sample> out;
+  out.reserve(ring_.size());
+  const std::size_t n = ring_.size();
+  const std::size_t start = n < opt_.ring_capacity ? 0 : next_;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % n]);
+  }
+  return out;
+}
+
+void sampler::run() {
+  const auto period = std::chrono::nanoseconds(
+      static_cast<std::int64_t>(1e9 / opt_.hz));
+  std::unique_lock<annotated_mutex> lk(mu_);
+  for (;;) {
+    // wait_for returns true when stop was requested; spurious wakeups
+    // re-wait for the remaining slice via the predicate loop inside.
+    if (cv_.wait_for(lk, period, [this]() HLS_REQUIRES(mu_) {
+          return stop_requested_;
+        })) {
+      return;  // stop() takes the closing sample after the join
+    }
+    capture_locked();
+  }
+}
+
+}  // namespace hls::telemetry
