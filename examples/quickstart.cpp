@@ -1,12 +1,18 @@
 // Quickstart: the hybrid parallel loop in five lines.
 //
-//   build/examples/quickstart [--workers=4] [--n=1000000]
+//   build/examples/quickstart [--workers=N] [--n=1000000]
 //                             [--telemetry] [--trace-out=trace.json]
 //                             [--metrics-out=metrics.jsonl] [--chaos=SPEC]
+//                             [--park-backstop-us=200]
+//                             [--progress-budget-us=US] [--watchdog=0|1]
+//                             [--max-inflight-loops=K]
 //
 // Creates a work-stealing runtime, runs a parallel loop under the paper's
 // hybrid scheduling scheme, and shows that switching the policy is a
-// one-argument change. --telemetry prints the scheduler counter report at
+// one-argument change. Every runtime knob — team size, park backstop,
+// watchdog progress budget, admission gate, chaos spec — comes through
+// runtime_options::from_cli, so the flags here are the same ones every
+// driver accepts. --telemetry prints the scheduler counter report at
 // exit; --trace-out writes a Chrome trace (open in Perfetto) of every
 // chunk, claim, and steal. --chaos installs the fault injector (same spec
 // format as HLS_CHAOS; see docs/robustness.md), e.g. --chaos=42 for the
@@ -17,23 +23,18 @@
 #include <numeric>
 #include <vector>
 
-#include "faultsim/faultsim.h"
 #include "sched/loop.h"
 #include "telemetry/report.h"
 #include "util/cli.h"
 
 int main(int argc, char** argv) {
   const hls::cli cli(argc, argv);
-  const auto workers = static_cast<std::uint32_t>(
-      cli.get_int_in("workers", 4, 1, hls::rt::runtime::kMaxWorkers));
   const std::int64_t n = cli.get_int("n", 1'000'000);
-  // A runtime with P workers; the calling thread acts as worker 0.
-  hls::rt::runtime rt(workers);
+  // All runtime knobs from the command line (the calling thread acts as
+  // worker 0; a --chaos spec is installed by the constructor).
+  hls::rt::runtime rt(hls::rt::runtime_options::from_cli(cli));
   hls::telemetry::run_session tel(rt.tel(),
                                   hls::telemetry::run_options::from_cli(cli));
-  if (cli.has("chaos")) {
-    rt.set_chaos(hls::faultsim::make_injector(cli.get("chaos", ""), workers));
-  }
 
   std::vector<double> data(static_cast<std::size_t>(n));
 

@@ -37,9 +37,11 @@ if [ "${HLS_VERIFY_DEEP:-0}" = "1" ]; then
     "--model=deque --bound=5"
     "--model=range_slot --bound=5"
     "--model=parking --bound=-1"
+    "--model=parking-backoff --bound=4"
     "--model=deque-broken-nogenbump --bound=3"
     "--model=range_slot-broken-nodrain --bound=3"
     "--model=parking-broken-norecheck --bound=3"
+    "--model=parking-backoff-broken-nobroadcast --bound=3"
   )
 else
   verify_runs=(
@@ -48,9 +50,11 @@ else
     "--model=deque --bound=3"
     "--model=range_slot --bound=3"
     "--model=parking --bound=3"
+    "--model=parking-backoff --bound=3"
     "--model=deque-broken-nogenbump --bound=3"
     "--model=range_slot-broken-nodrain --bound=3"
     "--model=parking-broken-norecheck --bound=3"
+    "--model=parking-backoff-broken-nobroadcast --bound=3"
   )
 fi
 : > build/VERIFY_summary.txt
@@ -75,8 +79,24 @@ done
 
 # Bench smoke: the runtime-primitive microbenches (wake latency, batched
 # steal throughput, deque/claim ops) must run in --json mode and produce a
-# single valid JSON document, archived for cross-run comparison.
-build/bench/rt_primitives --json > build/BENCH_rt_primitives.json
+# single valid JSON document, archived for cross-run comparison. The
+# archive is a per-benchmark median of three runs: the dispatch and wake
+# microbenches are microsecond-scale and sensitive to scheduler noise,
+# and the perf gate below compares single numbers.
+for r in 1 2 3; do
+  build/bench/rt_primitives --json > "build/BENCH_rt_primitives.$r.json"
+done
+python3 - <<'EOF'
+import json
+import statistics
+runs = [json.load(open(f"build/BENCH_rt_primitives.{r}.json")) for r in (1, 2, 3)]
+by_name = [{b["name"]: b for b in r["benchmarks"]} for r in runs]
+merged = runs[0]
+for b in merged["benchmarks"]:
+    for field in ("real_time", "cpu_time"):
+        b[field] = statistics.median(m[b["name"]][field] for m in by_name)
+json.dump(merged, open("build/BENCH_rt_primitives.json", "w"), indent=1)
+EOF
 python3 -m json.tool build/BENCH_rt_primitives.json > /dev/null
 python3 - <<'EOF'
 import json
@@ -145,9 +165,17 @@ build/examples/nas_driver all
 # Chaos-seeded stress run: the full stress suite under the fault injector
 # (docs/robustness.md). The seed is fixed so a failure replays exactly.
 echo "== chaos stress"
-HLS_CHAOS="seed=20260807,claim_fail=0.3,claim_peek=0.2,steal_fail=0.3,pop_skip=0.1,post_fail=0.2,range_fail=0.3,delay=0.05,delay_us=50" \
+HLS_CHAOS="seed=20260807,claim_fail=0.3,claim_peek=0.2,steal_fail=0.3,pop_skip=0.1,post_fail=0.2,range_fail=0.3,delay=0.05,delay_chunk=0.05,delay_park=0.02,delay_us=50" \
   build/tests/stress_test --gtest_brief=1
 build/examples/quickstart --chaos=20260807 > /dev/null
+
+# Chaos stall sweep: 200 deterministic delay-fault seeds across all six
+# policies, watchdog on a tight progress budget. Invariants per seed:
+# exactly-once execution and the Lemma-4 claim-sequence bound; in
+# aggregate the watchdog must detect injected stalls and rescue stranded
+# hybrid earmarks (docs/robustness.md).
+echo "== chaos stall sweep"
+HLS_STALL_SWEEP_SEEDS=200 build/tests/stall_sweep_test --gtest_brief=1
 
 cmake -B build-tsan -G Ninja -DHLS_SANITIZE=thread
 cmake --build build-tsan
@@ -156,7 +184,8 @@ for t in deque_test runtime_test parking_test parallel_for_test \
          reduce_test sched_features_test micro_workload_test \
          telemetry_test telemetry_runtime_test faultsim_test \
          hardening_test chaos_sched_test range_slot_test \
-         profiler_test metrics_export_test; do
+         profiler_test metrics_export_test health_test degrade_test \
+         stall_sweep_test; do
   echo "== TSAN $t"
   "build-tsan/tests/$t" --gtest_brief=1
 done

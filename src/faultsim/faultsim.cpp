@@ -19,6 +19,10 @@ const char* hook_name(hook h) noexcept {
     case hook::body_throw: return "body_throw";
     case hook::delay: return "delay";
     case hook::range_steal: return "range_fail";
+    case hook::delay_chunk: return "delay_chunk";
+    case hook::delay_park: return "delay_park";
+    case hook::thread_spawn: return "thread_spawn";
+    case hook::alloc_fail: return "alloc_fail";
     case hook::count_: break;
   }
   return "?";
@@ -46,8 +50,12 @@ void config::normalize() noexcept {
     double& r = rate[h];
     r = std::clamp(r, 0.0, 1.0);
     // body_throw may be certain (the loop still terminates, carrying the
-    // exception); every scheduler hook must keep a success path open.
-    if (static_cast<hook>(h) != hook::body_throw) {
+    // exception), and thread_spawn/alloc_fail gate one-shot fallback
+    // paths that stay live at rate 1.0; every other scheduler hook must
+    // keep a success path open.
+    const auto hk = static_cast<hook>(h);
+    if (hk != hook::body_throw && hk != hook::thread_spawn &&
+        hk != hook::alloc_fail) {
       r = std::min(r, kMaxSchedulerRate);
     }
   }
@@ -63,6 +71,8 @@ config config::default_mix(std::uint64_t seed) {
   c.of(hook::board_post) = 0.20;
   c.of(hook::range_steal) = 0.20;
   c.of(hook::delay) = 0.02;
+  c.of(hook::delay_chunk) = 0.02;
+  c.of(hook::delay_park) = 0.01;
   c.delay_us = 20;
   return c;
 }
@@ -226,10 +236,16 @@ bool injector::should_throw(std::uint32_t w, std::int64_t lo,
   return fire(hook::body_throw, w);
 }
 
-void injector::maybe_delay(std::uint32_t w) noexcept {
-  if (cfg_.delay_us > 0 && fire(hook::delay, w)) {
+bool injector::maybe_delay(std::uint32_t w) noexcept {
+  return maybe_delay(hook::delay, w);
+}
+
+bool injector::maybe_delay(hook h, std::uint32_t w) noexcept {
+  if (cfg_.delay_us > 0 && is_delay_hook(h) && fire(h, w)) {
     std::this_thread::sleep_for(std::chrono::microseconds(cfg_.delay_us));
+    return true;
   }
+  return false;
 }
 
 std::uint64_t injector::fired_total() const noexcept {

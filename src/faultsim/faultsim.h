@@ -46,17 +46,34 @@ namespace hls::faultsim {
 
 // Scheduler decision points where a fault can be injected.
 enum class hook : unsigned {
-  claim_peek,   // designated-partition is_claimed peek lies "claimed"
-  claim_fail,   // claim fetch_or reports failure without claiming
-  steal_probe,  // one victim probe forced to come back empty
-  deque_pop,    // local pop skipped (task stays queued)
-  board_post,   // board post forced to the overflow (-1) path
-  body_throw,   // chunk body replaced by an injected_fault throw
-  delay,        // worker sleeps cfg.delay_us before proceeding
-  range_steal,  // range-slot steal CAS forced to fail (span stays whole)
+  claim_peek,    // designated-partition is_claimed peek lies "claimed"
+  claim_fail,    // claim fetch_or reports failure without claiming
+  steal_probe,   // one victim probe forced to come back empty
+  deque_pop,     // local pop skipped (task stays queued)
+  board_post,    // board post forced to the overflow (-1) path
+  body_throw,    // chunk body replaced by an injected_fault throw
+  delay,         // worker sleeps cfg.delay_us before a steal round (legacy
+                 // "delay" spec key; the steal-hook member of the delay
+                 // fault class)
+  range_steal,   // range-slot steal CAS forced to fail (span stays whole)
+  delay_chunk,   // worker sleeps cfg.delay_us inside a chunk boundary —
+                 // the straggler model: a body-blocked worker holding
+                 // claimed work while its heartbeat goes silent
+  delay_park,    // worker sleeps cfg.delay_us on the park path (a
+                 // preempted-idle-worker model)
+  thread_spawn,  // runtime construction: one worker thread's spawn fails,
+                 // shrinking the team (graceful-degradation path)
+  alloc_fail,    // pooled subtask allocation reports exhaustion; the span
+                 // degrades to bounded serial-chunk execution
   count_,
 };
 inline constexpr unsigned kNumHooks = static_cast<unsigned>(hook::count_);
+
+// True for the three members of the `delay` fault class (seeded
+// per-(worker,hook) stalls of cfg.delay_us at steal/chunk/park hooks).
+constexpr bool is_delay_hook(hook h) noexcept {
+  return h == hook::delay || h == hook::delay_chunk || h == hook::delay_park;
+}
 
 const char* hook_name(hook h) noexcept;
 
@@ -82,12 +99,17 @@ struct config {
   std::uint64_t seed = 1;
 
   // Per-hook firing probability in [0, 1]. Scheduler-liveness hooks
-  // (everything except body_throw) are clamped to kMaxSchedulerRate by
-  // normalize(): a rate of 1.0 would starve the scheduler forever, while
-  // re-rolled sub-1 rates keep progress certain.
+  // (everything except body_throw, thread_spawn, and alloc_fail) are
+  // clamped to kMaxSchedulerRate by normalize(): a rate of 1.0 would
+  // starve the scheduler forever, while re-rolled sub-1 rates keep
+  // progress certain. thread_spawn and alloc_fail are exempt because
+  // they gate one-shot fallback paths that stay live at rate 1.0 (the
+  // team shrinks / the span runs serially), and deterministic degrade
+  // tests need exactly that.
   std::array<double, kNumHooks> rate{};
 
-  // Sleep applied when the delay hook fires.
+  // Sleep applied when a delay-class hook (delay/delay_chunk/delay_park)
+  // fires.
   std::uint32_t delay_us = 20;
 
   // Deterministic body-exception sites: the chunk containing `iteration`
@@ -149,8 +171,14 @@ class injector {
   // site inside the chunk matches, or the body_throw rate fires.
   bool should_throw(std::uint32_t w, std::int64_t lo, std::int64_t hi) noexcept;
 
-  // Sleeps cfg.delay_us when the delay hook fires for worker w.
-  void maybe_delay(std::uint32_t w) noexcept;
+  // Sleeps cfg.delay_us when the delay hook fires for worker w. Returns
+  // true when the delay actually fired so the hook site can account it
+  // (telemetry faults_injected).
+  bool maybe_delay(std::uint32_t w) noexcept;
+
+  // Same, for an arbitrary member of the delay fault class (delay,
+  // delay_chunk, delay_park).
+  bool maybe_delay(hook h, std::uint32_t w) noexcept;
 
   // Total faults fired at hook h / across all hooks (for tests and
   // reports; telemetry's faults_injected counter tracks the same events

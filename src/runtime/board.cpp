@@ -65,6 +65,20 @@ bool board::visit(worker& w) {
   return worked;
 }
 
+void board::request_rescue() noexcept {
+  for (int s = kSlots - 1; s >= 0; --s) {
+    slot& sl = slots_[s];
+    if (sl.ptr.load(std::memory_order_relaxed) == nullptr) continue;
+    sl.readers.fetch_add(1);
+    // Same Dekker re-read as visit(): either the record is still
+    // published here, or clear() unpublished it and now waits for the
+    // reader count to drain before dropping the keeper.
+    loop_record* rec = sl.ptr.load();
+    if (rec != nullptr && !rec->finished()) rec->request_rescue();
+    sl.readers.fetch_sub(1);
+  }
+}
+
 bool board::any_open() const noexcept {
   for (int s = 0; s < kSlots; ++s) {
     if (slots_[s].ptr.load(std::memory_order_acquire) != nullptr) return true;

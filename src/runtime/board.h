@@ -41,6 +41,17 @@ class loop_record {
 
   // True once every iteration of the loop has executed.
   virtual bool finished() const noexcept = 0;
+
+  // Health-watchdog escalation: the owner of an unfinished earmarked
+  // partition (or open range span) appears stalled, so any outstanding
+  // ownership reservations should be released for immediate rescue by
+  // whoever arrives next. Default: no-op (most policies have no
+  // reservations to release). Implementations must be safe to call from a
+  // non-worker thread concurrently with participate(), must not block,
+  // and must preserve exactly-once (the hybrid record arms its rescue
+  // sweep, which claims through the ordinary claim flags — Theorem 3
+  // holds whether the claimant is the designated owner or a rescuer).
+  virtual void request_rescue() noexcept {}
 };
 
 class board {
@@ -72,6 +83,12 @@ class board {
   bool visit(worker& w);
 
   bool any_open() const noexcept;
+
+  // Forwards a watchdog rescue request to every open, unfinished loop
+  // (see loop_record::request_rescue). Callable from any thread; uses the
+  // same readers/re-read lifetime protocol as visit(), so it never races
+  // with clear().
+  void request_rescue() noexcept;
 
   // The worker id of the most recent post, or kNoPoster once the board
   // drains. A thief probes this worker right after its last successful

@@ -5,8 +5,12 @@
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
+#include <system_error>
+#include <thread>
 
 #include "faultsim/faultsim.h"
+#include "runtime/health.h"
+#include "util/cli.h"
 #include "util/rng.h"
 
 namespace hls::rt {
@@ -34,27 +38,120 @@ std::uint32_t checked_worker_count(std::uint32_t num_workers) {
   }
   return num_workers;
 }
+
+runtime_options legacy_options(std::uint32_t num_workers, std::uint64_t seed) {
+  runtime_options o;
+  o.num_workers = num_workers;
+  o.seed = seed;
+  return o;
+}
+
+const runtime_options& checked_options(const runtime_options& opt) {
+  opt.validate();
+  return opt;
+}
 }  // namespace
 
+void runtime_options::validate() const {
+  checked_worker_count(num_workers);
+  if (park_backstop < std::chrono::microseconds(1) ||
+      park_backstop > std::chrono::seconds(1)) {
+    throw std::invalid_argument(
+        "hls: park backstop " + std::to_string(park_backstop.count()) +
+        "us out of range [1us, 1s]");
+  }
+  if (progress_budget.count() != 0 &&
+      (progress_budget < std::chrono::microseconds(10) ||
+       progress_budget > std::chrono::seconds(60))) {
+    throw std::invalid_argument(
+        "hls: progress budget " + std::to_string(progress_budget.count()) +
+        "us out of range [10us, 60s] (0 derives 16x the park backstop)");
+  }
+}
+
+runtime_options runtime_options::from_cli(const cli& c) {
+  runtime_options o;
+  const unsigned hw = std::thread::hardware_concurrency();
+  o.num_workers = static_cast<std::uint32_t>(c.get_int_in(
+      "workers", hw == 0 ? 4 : static_cast<int>(hw), 1,
+      static_cast<int>(runtime::kMaxWorkers)));
+  o.park_backstop = std::chrono::microseconds(c.get_int_in(
+      "park-backstop-us", static_cast<int>(runtime::kParkBackstop.count()), 1,
+      1'000'000));
+  o.progress_budget = std::chrono::microseconds(
+      c.get_int_in("progress-budget-us", 0, 0, 60'000'000));
+  o.watchdog = c.get_bool("watchdog", true);
+  o.max_inflight_loops = static_cast<std::uint32_t>(
+      c.get_int_in("max-inflight-loops", 0, 0, 1 << 20));
+  o.chaos = c.get("chaos", "");
+  o.validate();
+  return o;
+}
+
 runtime::runtime(std::uint32_t num_workers, std::uint64_t seed)
-    : tel_(checked_worker_count(num_workers)), parking_(tel_.num_workers()) {
-  std::uint64_t sm = seed;
-  workers_.reserve(num_workers);
-  for (std::uint32_t i = 0; i < num_workers; ++i) {
+    : runtime(legacy_options(num_workers, seed)) {}
+
+runtime::runtime(const runtime_options& opt)
+    : opt_(checked_options(opt)),
+      tel_(opt_.num_workers),
+      parking_(tel_.num_workers()) {
+  const std::uint32_t requested = opt_.num_workers;
+  std::uint64_t sm = opt_.seed;
+  workers_.reserve(requested);
+  for (std::uint32_t i = 0; i < requested; ++i) {
     workers_.push_back(
         std::make_unique<worker>(*this, i, splitmix64(sm), tel_.of(i)));
   }
   tls_worker = workers_[0].get();
-  if (auto chaos_cfg = faultsim::config::from_env()) {
-    set_chaos(std::make_shared<faultsim::injector>(*chaos_cfg, num_workers));
+  if (!opt_.chaos.empty()) {
+    set_chaos(faultsim::make_injector(opt_.chaos, requested));
+  } else if (auto chaos_cfg = faultsim::config::from_env()) {
+    set_chaos(std::make_shared<faultsim::injector>(*chaos_cfg, requested));
   }
-  threads_.reserve(num_workers - 1);
-  for (std::uint32_t i = 1; i < num_workers; ++i) {
-    threads_.emplace_back([this, i] { worker_main(i); });
+  active_workers_.store(requested, std::memory_order_relaxed);
+  threads_.reserve(requested - 1);
+  faultsim::injector* inj = chaos();
+  for (std::uint32_t i = 1; i < requested; ++i) {
+    // Graceful degradation: a spawn failure (resource exhaustion, or the
+    // faultsim thread_spawn hook standing in for one) shrinks the team to
+    // the i workers already running instead of throwing a half-built
+    // runtime away. Worker ids stay contiguous [0, i); the threadless
+    // worker objects stay allocated (already-running workers may be
+    // mid-scan over them) but hold no work and are never victims again
+    // once active_workers_ shrinks.
+    bool failed =
+        inj != nullptr && inj->fire(faultsim::hook::thread_spawn, 0);
+    if (!failed) {
+      try {
+        threads_.emplace_back([this, i] { worker_main(i); });
+      } catch (const std::system_error&) {
+        failed = true;
+      }
+    }
+    if (failed) {
+      active_workers_.store(i, std::memory_order_release);
+      // The constructing thread IS worker 0, so its counter lane is ours
+      // to bump (single-writer rule).
+      telemetry::bump(tel_.of(0).counters.degraded_workers, requested - i);
+      if (inj != nullptr) {
+        telemetry::bump(tel_.of(0).counters.faults_injected);
+      }
+      std::fprintf(stderr,
+                   "hls: worker thread %u failed to spawn; running degraded "
+                   "with %u of %u workers\n",
+                   i, i, requested);
+      break;
+    }
+  }
+  if (opt_.watchdog) {
+    health_watchdog::options ho;
+    ho.progress_budget = opt_.effective_progress_budget();
+    watchdog_ = std::make_unique<health_watchdog>(*this, ho);
   }
 }
 
 runtime::~runtime() {
+  watchdog_.reset();  // stop the service thread before the workers go away
   stop_.store(true, std::memory_order_release);
   parking_.request_stop();
   for (auto& t : threads_) t.join();
@@ -144,8 +241,47 @@ runtime::park_outcome runtime::idle_park(worker& w, park_predicate done) {
     return {false, parking_lot::wake_reason::notified};
   }
   const parking_lot::park_result res =
-      parking_.park(w.id(), ticket, kParkBackstop);
+      parking_.park(w.id(), ticket, opt_.park_backstop);
   return {res.waited, res.reason};
+}
+
+runtime::park_outcome runtime::backoff_park(worker& w,
+                                            std::chrono::nanoseconds nap,
+                                            park_predicate done) {
+  if (stopping()) return {false, parking_lot::wake_reason::stop};
+  const std::uint32_t ticket = parking_.prepare_park(w.id());
+  // Unlike idle_park, work_visible is deliberately NOT part of this
+  // re-check (see the header comment): the whole point of a backoff park
+  // is to stop spinning over work that is visible but unacquirable.
+  // Stopping and the caller's completion predicate still are — a
+  // completion broadcast racing the announcement must cancel here, and
+  // one landing after the announcement finds the waiter and unparks it.
+  if (stopping() || done.satisfied()) {
+    parking_.cancel_park(w.id());
+    return {false, parking_lot::wake_reason::notified};
+  }
+  const parking_lot::park_result res = parking_.park(w.id(), ticket, nap);
+  return {res.waited, res.reason};
+}
+
+bool runtime::try_admit_loop() noexcept {
+  const std::uint32_t limit = opt_.max_inflight_loops;
+  if (limit == 0) return true;
+  std::uint32_t cur = inflight_loops_.load(std::memory_order_relaxed);
+  while (cur < limit) {
+    if (inflight_loops_.compare_exchange_weak(cur, cur + 1,
+                                              std::memory_order_acquire,
+                                              std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void runtime::release_loop() noexcept {
+  if (opt_.max_inflight_loops != 0) {
+    inflight_loops_.fetch_sub(1, std::memory_order_release);
+  }
 }
 
 void runtime::worker_main(std::uint32_t id) {

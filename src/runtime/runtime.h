@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include <string>
+
 #include "runtime/board.h"
 #include "runtime/parking.h"
 #include "runtime/worker.h"
@@ -23,13 +25,66 @@
 namespace hls::faultsim {
 class injector;
 }
+namespace hls {
+class cli;
+}
 
 namespace hls::rt {
+
+class health_watchdog;
 
 // The worker bound to the calling thread, or nullptr when the thread is not
 // a runtime worker (e.g. during static initialization or in tests that use
 // tasks without a runtime). Used by pooled task allocation.
 worker* current_worker_or_null() noexcept;
+
+// Construction-time runtime configuration. All knobs are validated by
+// validate() (called by the runtime constructor); from_cli additionally
+// range-checks the raw flag values, so a bad --park-backstop-us fails with
+// a message naming the flag instead of surfacing later.
+struct runtime_options {
+  std::uint32_t num_workers = 1;   // --workers, in [1, kMaxWorkers]
+  std::uint64_t seed = 42;         // victim-selection reproducibility
+
+  // Backstop for idle parks (see runtime::kParkBackstop for the default
+  // and the rationale). Must be in [1us, 1s].
+  std::chrono::microseconds park_backstop{200};
+
+  // Health watchdog (runtime/health.h): off disables stall detection and
+  // rescue escalation entirely (no service thread is started).
+  bool watchdog = true;
+
+  // Heartbeat-silence budget after which a worker is classified stalled.
+  // 0 = derive from the park backstop (16x, the documented default): the
+  // backstop is the longest a healthy worker legitimately goes dark, so
+  // the progress budget defaults to a comfortable multiple of it. When
+  // set, must be in [10us, 60s].
+  std::chrono::microseconds progress_budget{0};
+
+  // Admission gate: parallel_for submissions beyond this many concurrently
+  // in-flight loops execute serially on the submitting worker (bounded
+  // backpressure) instead of posting to the board. 0 = unlimited.
+  std::uint32_t max_inflight_loops = 0;
+
+  // Chaos spec (faultsim/faultsim.h). "" = fall back to the HLS_CHAOS
+  // environment variable; a non-empty spec must parse or the runtime
+  // constructor throws.
+  std::string chaos;
+
+  // The watchdog's effective stall budget after defaulting.
+  std::chrono::microseconds effective_progress_budget() const noexcept {
+    return progress_budget.count() > 0 ? progress_budget
+                                       : park_backstop * 16;
+  }
+
+  // Throws std::invalid_argument on any out-of-range knob.
+  void validate() const;
+
+  // Parses --workers, --park-backstop-us, --progress-budget-us,
+  // --watchdog=0|1, --max-inflight-loops, --chaos. Unset flags keep the
+  // defaults above (num_workers falls back to hardware_concurrency).
+  static runtime_options from_cli(const cli& c);
+};
 
 class runtime {
  public:
@@ -44,13 +99,24 @@ class runtime {
   // variable is set, a deterministic fault injector is installed (see
   // faultsim/faultsim.h and set_chaos).
   explicit runtime(std::uint32_t num_workers, std::uint64_t seed = 42);
+
+  // Full-options constructor; opt.validate() is applied first. Worker
+  // thread spawn failures (std::system_error from std::thread, or the
+  // faultsim thread_spawn hook) do not throw: the team shrinks to the
+  // workers that did start, the loss is counted in degraded_workers, and
+  // the runtime comes up degraded-but-functional (num_workers() reports
+  // the actual team size).
+  explicit runtime(const runtime_options& opt);
   ~runtime();
 
   runtime(const runtime&) = delete;
   runtime& operator=(const runtime&) = delete;
 
+  // The ACTIVE team size: the requested worker count minus any workers
+  // lost to spawn failure at construction (ids stay contiguous [0, n)).
+  // Worker objects beyond it exist but have no thread and hold no work.
   std::uint32_t num_workers() const noexcept {
-    return static_cast<std::uint32_t>(workers_.size());
+    return active_workers_.load(std::memory_order_relaxed);
   }
   worker& worker_at(std::uint32_t i) noexcept { return *workers_[i]; }
   board& loop_board() noexcept { return board_; }
@@ -60,12 +126,18 @@ class runtime {
   // is a usage error and aborts.
   worker& current_worker();
 
-  // Backstop for idle parks. Not a poll interval: every work-publication
-  // path issues a targeted wake, so in normal operation parked workers are
-  // woken explicitly and this timeout never fires. It exists so an edge
-  // with no tracked wake (or a future bug) degrades to bounded latency —
-  // matching the old poll interval — instead of a hang.
+  // Default backstop for idle parks (runtime_options::park_backstop). Not
+  // a poll interval: every work-publication path issues a targeted wake,
+  // so in normal operation parked workers are woken explicitly and this
+  // timeout never fires. It exists so an edge with no tracked wake (or a
+  // future bug) degrades to bounded latency — matching the old poll
+  // interval — instead of a hang.
   static constexpr std::chrono::microseconds kParkBackstop{200};
+
+  // The options this runtime was built with (after validation; num_workers
+  // still reports the REQUESTED team size — num_workers() is the actual
+  // one when spawn failures shrank the team).
+  const runtime_options& options() const noexcept { return opt_; }
 
   // Wakes exactly one parked worker (the new-work edge: pushes, board
   // posts, batch-steal surpluses). Escalation to more workers happens by
@@ -99,6 +171,38 @@ class runtime {
   // completion visible, or stopping) — such calls must not be accounted as
   // idle sleeps.
   park_outcome idle_park(worker& w, park_predicate done = {});
+
+  // Backoff variant used by the steal-backoff path (worker::pause): parks
+  // for at most `nap` even though work IS visible. The re-check after the
+  // waiter announcement deliberately skips work_visible — a backoff park
+  // happens precisely because visible work keeps failing to be acquired
+  // (an open loop whose iterations are all claimed by a straggler, a
+  // range span that loses every split CAS), and re-checking it would turn
+  // every backoff into a cancelled park, i.e. back into spinning. It
+  // still re-checks stopping and the caller's completion predicate, and
+  // the waiter is announced through the ordinary parking protocol, so
+  // every liveness edge is covered: new work unparks announced waiters,
+  // completion broadcasts (loop retire / task_group drain) unpark_all,
+  // and the bounded nap backstops anything untracked. Model-checked as
+  // the parking-backoff model (src/verify/models).
+  park_outcome backoff_park(worker& w, std::chrono::nanoseconds nap,
+                            park_predicate done = {});
+
+  // ---- admission gate (runtime_options::max_inflight_loops) ----------
+  // parallel_for brackets each parallel submission with try_admit_loop /
+  // release_loop. A false return means the gate is full: the caller must
+  // degrade to bounded serial-chunk execution on its own thread (the
+  // backpressure path) instead of posting to the board. With no limit
+  // configured, admission always succeeds and costs one branch.
+  bool try_admit_loop() noexcept;
+  void release_loop() noexcept;
+  std::uint32_t inflight_loops() const noexcept {
+    return inflight_loops_.load(std::memory_order_relaxed);
+  }
+
+  // The health watchdog, or nullptr when runtime_options::watchdog is
+  // false (runtime/health.h).
+  health_watchdog* watchdog() noexcept { return watchdog_.get(); }
 
   // True when any deque holds a task or the board has an open loop. Racy
   // by nature (size estimates); used by the idle path's check-then-park
@@ -148,12 +252,16 @@ class runtime {
   void worker_main(std::uint32_t id);
   void capture_orphan(std::exception_ptr e) noexcept;
 
+  runtime_options opt_;      // validated copy
   telemetry::registry tel_;  // before workers_: workers reference slots
   parking_lot parking_;
   std::vector<std::unique_ptr<worker>> workers_;
   std::vector<std::thread> threads_;
   board board_;
   std::atomic<bool> stop_{false};
+  std::atomic<std::uint32_t> active_workers_{1};
+  std::atomic<std::uint32_t> inflight_loops_{0};
+  std::unique_ptr<health_watchdog> watchdog_;  // reset first in ~runtime
 
   // Chaos injector: raw pointer for the hot-path load; keepers (current +
   // retired) pin every injector installed during this runtime's life so a

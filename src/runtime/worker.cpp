@@ -1,5 +1,6 @@
 #include "runtime/worker.h"
 
+#include <chrono>
 #include <thread>
 
 #include "faultsim/faultsim.h"
@@ -74,7 +75,9 @@ bool worker::try_steal_round() {
   const std::uint32_t p = rt_.num_workers();
   if (p <= 1) return false;
   faultsim::injector* chaos = rt_.chaos();
-  if (chaos != nullptr) chaos->maybe_delay(id_);
+  if (chaos != nullptr && chaos->maybe_delay(id_)) {
+    telemetry::bump(tel_.counters.faults_injected);
+  }
   const std::uint64_t t0 = tel_.now();
   std::uint64_t probes = 0;
 
@@ -172,19 +175,45 @@ bool worker::try_progress() {
 }
 
 void worker::pause(int idle_count, park_predicate done) {
+  // Heartbeat at the park boundary: an idle-but-scheduled worker keeps
+  // beating through this loop, so the watchdog only sees silence when the
+  // thread is truly off-CPU or wedged (runtime/health.h).
+  beat();
+  if (idle_count == 1) {
+    // Progress happened since the last pause streak; restart the backoff
+    // ladder from the spin rungs.
+    backoff_streak_ = 0;
+    backoff_level_ = 0;
+  }
   if (idle_count < 4) {
     cpu_relax();
   } else if (idle_count < 16) {
     std::this_thread::yield();
   } else {
+    if (faultsim::injector* c = rt_.chaos();
+        c != nullptr && c->maybe_delay(faultsim::hook::delay_park, id_)) {
+      // Injected pre-park preemption (the delay fault class).
+      telemetry::bump(tel_.counters.faults_injected);
+    }
     const std::uint64_t t0 = tel_.now();
     // Count only parks that actually blocked: idle_park reports
     // blocked == false when it bailed out in the check-then-park re-check
     // (work or the caller's completion predicate became visible, or the
     // runtime is stopping), and those must not inflate the sleep counter
     // or emit zero-length idle spans.
+    hb_parked_.store(1, std::memory_order_relaxed);
     const runtime::park_outcome out = rt_.idle_park(*this, done);
-    if (!out.blocked) return;
+    hb_parked_.store(0, std::memory_order_relaxed);
+    if (!out.blocked) {
+      // A cancelled park means work is visible but this worker keeps
+      // failing to acquire it (all iterations claimed by a straggler, or
+      // every split CAS lost). Repeated cancellations are the spinning-
+      // thief signature the steal backoff damps.
+      if (++backoff_streak_ >= kBackoffAfter) backoff_nap(done);
+      return;
+    }
+    backoff_streak_ = 0;
+    backoff_level_ = 0;
     telemetry::bump(tel_.counters.idle_sleeps);
     const std::uint64_t dt = tel_.now() - t0;
     telemetry::bump(tel_.counters.idle_sleep_ns, dt);
@@ -212,6 +241,30 @@ void worker::pause(int idle_count, park_predicate done) {
                  telemetry::event_kind::idle_span});
     }
   }
+}
+
+void worker::backoff_nap(park_predicate done) {
+  // Bounded exponential nap with jitter: 2us << level, jittered to
+  // 50-150% so synchronized thieves don't re-collide, capped at the park
+  // backstop. The nap goes through runtime::backoff_park (announced
+  // waiter, completion-predicate re-check, bounded timeout), so no wake
+  // edge is lost — see the model-checked parking-backoff protocol.
+  const std::int64_t base_ns = 2'000ll << backoff_level_;
+  const std::int64_t cap_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          rt_.options().park_backstop)
+          .count();
+  std::int64_t nap_ns = base_ns / 2 +
+                        static_cast<std::int64_t>(
+                            rng_.next_below(static_cast<std::uint64_t>(base_ns)));
+  if (nap_ns > cap_ns) nap_ns = cap_ns;
+  telemetry::bump(tel_.counters.steal_backoffs);
+  hb_parked_.store(1, std::memory_order_relaxed);
+  const runtime::park_outcome out =
+      rt_.backoff_park(*this, std::chrono::nanoseconds(nap_ns), done);
+  hb_parked_.store(0, std::memory_order_relaxed);
+  backoff_streak_ = 0;
+  if (out.blocked && backoff_level_ < kMaxBackoffLevel) ++backoff_level_;
 }
 
 }  // namespace hls::rt

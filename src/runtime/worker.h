@@ -6,11 +6,14 @@
 
 #include <cstdint>
 
+#include <atomic>
+
 #include "runtime/deque.h"
 #include "runtime/parking.h"
 #include "runtime/range_slot.h"
 #include "runtime/task_pool.h"
 #include "telemetry/registry.h"
+#include "util/cacheline.h"
 #include "util/rng.h"
 
 namespace hls::rt {
@@ -73,6 +76,25 @@ class worker {
   // Block pool for this worker's task allocations (owner thread only).
   block_pool& pool() noexcept { return pool_; }
 
+  // ---- heartbeat (consumed by runtime/health.h) ---------------------
+  // A cacheline-padded epoch word the owning worker bumps at chunk and
+  // park boundaries; the watchdog classifies a worker whose heartbeat
+  // goes silent past the progress budget as stalled. Owner-only store
+  // (plain load+store, no RMW — same discipline as the counters).
+  void beat() noexcept {
+    hb_beats_.store(hb_beats_.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
+  }
+  std::uint64_t beats() const noexcept {
+    return hb_beats_.load(std::memory_order_relaxed);
+  }
+  // True while the worker is blocked in a park: the watchdog classifies a
+  // parked worker as healthy-idle rather than stalled (it holds no work
+  // and wakes on demand).
+  bool parked_hint() const noexcept {
+    return hb_parked_.load(std::memory_order_relaxed) != 0;
+  }
+
   // Runs scheduling steps until pred() holds, backing off when idle. The
   // predicate is threaded into the park path so the check-then-park
   // re-check covers completion broadcasts that fired before the waiter was
@@ -98,6 +120,14 @@ class worker {
   // the pre-park re-check and refines spurious-wake accounting.
   void pause(int idle_count, park_predicate done = {});
 
+  // Steal backoff: after kBackoffAfter consecutive idle_park attempts
+  // came back cancelled (work stayed visible but unacquirable — the
+  // spinning-thief signature), take one bounded exponential jittered nap
+  // via runtime::backoff_park instead of burning the straggler's cycles.
+  void backoff_nap(park_predicate done);
+  static constexpr int kBackoffAfter = 2;
+  static constexpr int kMaxBackoffLevel = 7;  // 2us << 7 = 256us cap input
+
   // One round of steal attempts: affinity probes first (last successful
   // victim, then the board's poster hint), then random victims. Successful
   // probes use batched stealing (ws_deque::steal_batch).
@@ -119,6 +149,15 @@ class worker {
   // has surplus — so the next round probes it before rolling the dice.
   // Reset to kNoVictim when the remembered victim comes up empty.
   std::uint32_t last_victim_ = kNoVictim;
+
+  // Heartbeat words, padded so the watchdog's cross-thread reads never
+  // false-share with the worker's hot state.
+  alignas(kCacheLine) std::atomic<std::uint64_t> hb_beats_{0};
+  std::atomic<std::uint8_t> hb_parked_{0};
+
+  // Steal-backoff state (owner thread only).
+  int backoff_streak_ = 0;  // consecutive cancelled idle parks
+  int backoff_level_ = 0;   // current exponent of the nap length
 };
 
 }  // namespace hls::rt

@@ -133,7 +133,7 @@ loop_result parallel_for(rt::runtime& rt, std::int64_t begin, std::int64_t end,
   if (me_ptr == nullptr || &me_ptr->rt() != &rt) {
     // A foreign thread has no deque, no board access, and no telemetry
     // lane; running the loop serially on it is the only sound option. The
-    // profiler still sees it (flagged serial_degrade) so degraded
+    // profiler still sees it (degrade_reason::foreign_thread) so degraded
     // invocations show up in per-site profiles instead of vanishing.
     warn_foreign_thread_once();
     probe.setup_done();
@@ -141,7 +141,7 @@ loop_result parallel_for(rt::runtime& rt, std::int64_t begin, std::int64_t end,
     probe.work_done();
     probe.commit(opt.site, opt.label, pol, 0, grain, n,
                  static_cast<std::uint8_t>(res.status), res.skipped,
-                 /*serial_degrade=*/true);
+                 telemetry::degrade_reason::foreign_thread);
     return res;
   }
   rt::worker& me = *me_ptr;
@@ -158,7 +158,8 @@ loop_result parallel_for(rt::runtime& rt, std::int64_t begin, std::int64_t end,
     body(begin, end);
     probe.work_done();
     if (opt.trace != nullptr) opt.trace->record(me.id(), begin, end);
-    probe.commit(opt.site, opt.label, pol, 0, grain, n, 0, 0, false);
+    probe.commit(opt.site, opt.label, pol, 0, grain, n, 0, 0,
+                 telemetry::degrade_reason::none);
     return {};
   }
 
@@ -199,7 +200,38 @@ loop_result parallel_for(rt::runtime& rt, std::int64_t begin, std::int64_t end,
     ctx->rethrow_if_failed();
     const loop_result res = result_of();
     probe.commit(opt.site, opt.label, pol, 0, grain, n,
-                 static_cast<std::uint8_t>(res.status), res.skipped, false);
+                 static_cast<std::uint8_t>(res.status), res.skipped,
+                 telemetry::degrade_reason::none);
+    return res;
+  }
+
+  // Admission gate (runtime_options::max_inflight_loops): past the
+  // in-flight limit the runtime sheds load by serializing the newcomer on
+  // its posting worker — bounded chunks through run_chunk, so cancel /
+  // deadline / skip accounting behave exactly like the parallel paths —
+  // instead of piling more records onto the board. RAII so every exit
+  // (including body rethrow) releases the admitted slot.
+  struct admission_guard {
+    rt::runtime& rt;
+    const bool admitted;
+    explicit admission_guard(rt::runtime& r)
+        : rt(r), admitted(r.try_admit_loop()) {}
+    ~admission_guard() {
+      if (admitted) rt.release_loop();
+    }
+  } gate(rt);
+  if (!gate.admitted) {
+    telemetry::bump(me.tel().counters.gated_loops);
+    probe.setup_done();
+    for (std::int64_t lo = begin; lo < end; lo += grain) {
+      ctx->run_chunk(me, lo, std::min(end, lo + grain));
+    }
+    probe.work_done();
+    ctx->rethrow_if_failed();
+    const loop_result res = result_of();
+    probe.commit(opt.site, opt.label, pol, 0, grain, n,
+                 static_cast<std::uint8_t>(res.status), res.skipped,
+                 telemetry::degrade_reason::admission_gate);
     return res;
   }
 
@@ -215,7 +247,8 @@ loop_result parallel_for(rt::runtime& rt, std::int64_t begin, std::int64_t end,
     ctx->rethrow_if_failed();
     const loop_result res = result_of();
     probe.commit(opt.site, opt.label, pol, 0, grain, n,
-                 static_cast<std::uint8_t>(res.status), res.skipped, false);
+                 static_cast<std::uint8_t>(res.status), res.skipped,
+                 telemetry::degrade_reason::none);
     return res;
   }
 
@@ -277,7 +310,8 @@ loop_result parallel_for(rt::runtime& rt, std::int64_t begin, std::int64_t end,
   ctx->rethrow_if_failed();
   const loop_result res = result_of();
   probe.commit(opt.site, opt.label, pol, eff_parts, grain, n,
-               static_cast<std::uint8_t>(res.status), res.skipped, false);
+               static_cast<std::uint8_t>(res.status), res.skipped,
+               telemetry::degrade_reason::none);
   return res;
 }
 

@@ -28,6 +28,11 @@ bool loop_ctx::stop_requested(rt::worker& w) noexcept {
 
 void loop_ctx::run_chunk(rt::worker& w, std::int64_t lo, std::int64_t hi) {
   if (lo >= hi) return;
+  // Heartbeat at the chunk boundary (runtime/health.h): a worker stuck
+  // inside one body stops beating and becomes visible to the watchdog.
+  w.beat();
+  // Heartbeat at the chunk boundary (runtime/health.h): a worker stuck
+  // inside one body stops beating and becomes visible to the watchdog.
   telemetry::worker_state& tel = w.tel();
   // Chunk timing needs two clock reads, so it only runs in event-tracing
   // mode; the always-on path is pure relaxed counter stores.
@@ -45,10 +50,16 @@ void loop_ctx::run_chunk(rt::worker& w, std::int64_t lo, std::int64_t hi) {
       failed.load(std::memory_order_acquire) || stop_requested(w);
   if (!skip) {
     try {
-      if (faultsim::injector* c = w.rt().chaos();
-          c != nullptr && c->should_throw(w.id(), lo, hi)) {
-        telemetry::bump(tel.counters.faults_injected);
-        throw faultsim::injected_fault(w.id(), lo, hi);
+      if (faultsim::injector* c = w.rt().chaos(); c != nullptr) {
+        // Injected straggler: a body-blocked worker holding claimed work
+        // (the delay_chunk fault class; see the stall sweep tests).
+        if (c->maybe_delay(faultsim::hook::delay_chunk, w.id())) {
+          telemetry::bump(tel.counters.faults_injected);
+        }
+        if (c->should_throw(w.id(), lo, hi)) {
+          telemetry::bump(tel.counters.faults_injected);
+          throw faultsim::injected_fault(w.id(), lo, hi);
+        }
       }
       body(lo, hi);
       if (trace != nullptr) trace->record(w.id(), lo, hi);
@@ -103,11 +114,50 @@ void ws_subtask::operator delete(void* p) noexcept {
 // cases stay eager all the way down).
 void ws_subtask::execute(rt::worker& w) { range_span::run(w, ctx_, lo_, hi_); }
 
+namespace {
+
+// Allocates one eager subtask, or nullptr on pool exhaustion — real
+// (std::bad_alloc out of the block pool's refill) or injected (the
+// faultsim alloc_fail hook). Callers degrade to bounded serial-chunk
+// execution of the range instead of aborting; exactly-once is preserved
+// because the serial chunks retire through run_chunk like any other.
+ws_subtask* try_new_subtask(rt::worker& w,
+                            const std::shared_ptr<loop_ctx>& ctx,
+                            std::int64_t lo, std::int64_t hi) {
+  if (faultsim::injector* c = w.rt().chaos();
+      c != nullptr && c->fire(faultsim::hook::alloc_fail, w.id())) {
+    telemetry::bump(w.tel().counters.faults_injected);
+    telemetry::bump(w.tel().counters.alloc_fallbacks);
+    return nullptr;
+  }
+  try {
+    return new ws_subtask(ctx, lo, hi);
+  } catch (const std::bad_alloc&) {
+    telemetry::bump(w.tel().counters.alloc_fallbacks);
+    return nullptr;
+  }
+}
+
+// The pool-exhaustion fallback: run [lo, hi) serially in grain-sized
+// chunks on this worker.
+void run_serial_chunks(rt::worker& w, loop_ctx* ctx, std::int64_t lo,
+                       std::int64_t hi) {
+  for (std::int64_t cur = lo; cur < hi; cur += ctx->grain) {
+    ctx->run_chunk(w, cur, std::min(cur + ctx->grain, hi));
+  }
+}
+
+}  // namespace
+
 void ws_subtask::run_span(rt::worker& w, const std::shared_ptr<loop_ctx>& ctx,
                           std::int64_t lo, std::int64_t hi) {
   while (hi - lo > ctx->grain) {
     const std::int64_t mid = lo + (hi - lo) / 2;
-    w.push(new ws_subtask(ctx, mid, hi));
+    if (ws_subtask* t = try_new_subtask(w, ctx, mid, hi)) {
+      w.push(t);
+    } else {
+      run_serial_chunks(w, ctx.get(), mid, hi);
+    }
     hi = mid;
   }
   ctx->run_chunk(w, lo, hi);
@@ -175,7 +225,11 @@ void range_span::run(rt::worker& w, const std::shared_ptr<loop_ctx>& ctx,
   // slot's packed 32-bit fields; realistic loops never enter this.
   while (hi - lo > rt::range_slot::kMaxSpan) {
     const std::int64_t mid = lo + (hi - lo) / 2;
-    w.push(new ws_subtask(ctx, mid, hi));
+    if (ws_subtask* t = try_new_subtask(w, ctx, mid, hi)) {
+      w.push(t);
+    } else {
+      run_serial_chunks(w, ctx.get(), mid, hi);
+    }
     hi = mid;
   }
   if (hi - lo <= ctx->grain) {
@@ -367,6 +421,10 @@ bool hybrid_record::rescue_sweep(rt::worker& w) {
   for (std::uint64_t r = 0; r < parts_.count(); ++r) {
     if (!parts_.is_claimed(r) && parts_.try_claim(r)) {
       telemetry::bump(w.tel().counters.claims_ok);
+      // Every sweep-claimed partition was some owner's earmark that the
+      // owner never reached — whether lost to an injected claim fault or
+      // released early by a watchdog rescue.
+      telemetry::bump(w.tel().counters.earmarks_rescued);
       execute_partition(w, r);
       worked = true;
     }
@@ -377,9 +435,15 @@ bool hybrid_record::rescue_sweep(rt::worker& w) {
 bool hybrid_record::participate(rt::worker& w) {
   telemetry::worker_state& tel = w.tel();
   faultsim::injector* chaos = w.rt().chaos();
-  const bool chaos_claims =
-      chaos != nullptr && chaos->cfg().claims_active();
-  if (chaos != nullptr) chaos->maybe_delay(w.id());
+  // Sweep triggers: injected claim faults break the "failure implies
+  // claimed" invariant for the whole run; a watchdog rescue breaks it on
+  // demand (a stalled owner's earmarks must not wait for the owner).
+  const bool sweep_leftovers =
+      (chaos != nullptr && chaos->cfg().claims_active()) ||
+      rescue_armed_.load(std::memory_order_acquire);
+  if (chaos != nullptr && chaos->maybe_delay(w.id())) {
+    telemetry::bump(tel.counters.faults_injected);
+  }
   // DoHybridLoop steal protocol: a worker arriving at the loop first checks
   // its designated starting partition r = w XOR 0; if that partition is
   // claimed it reverts to ordinary randomized work stealing. When fewer
@@ -400,11 +464,11 @@ bool hybrid_record::participate(rt::worker& w) {
                 static_cast<std::int64_t>(core::claim_target(0, weff)), 0,
                 telemetry::event_kind::claim_fail});
     }
-    // Under claim chaos the "designated claimed => my subtree is covered"
-    // implication no longer holds, so leftovers must be swept here too —
-    // otherwise a loop whose every designated partition is claimed could
-    // strand a forced-skipped partition forever.
-    if (chaos_claims && !parts_.all_claimed()) return rescue_sweep(w);
+    // Under claim chaos or an armed rescue the "designated claimed => my
+    // subtree is covered" implication no longer holds, so leftovers must
+    // be swept here too — otherwise a loop whose every designated
+    // partition is claimed could strand a skipped partition forever.
+    if (sweep_leftovers && !parts_.all_claimed()) return rescue_sweep(w);
     return false;
   }
 
@@ -432,7 +496,7 @@ bool hybrid_record::participate(rt::worker& w) {
   tel.note_claim_sequence(st.successes, st.failures, st.max_consec_failures,
                           parts_.count());
   bool worked = st.successes > 0;
-  if (chaos_claims && !parts_.all_claimed()) {
+  if (sweep_leftovers && !parts_.all_claimed()) {
     worked = rescue_sweep(w) || worked;
   }
   return worked;

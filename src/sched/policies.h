@@ -209,20 +209,39 @@ class hybrid_record final : public rt::loop_record {
   bool participate(rt::worker& w) override;
   bool finished() const noexcept override { return ctx_->finished(); }
 
+  // Watchdog escalation (board::request_rescue): latches the rescue sweep
+  // on so every subsequent participate() linearly try_claims leftover
+  // partitions instead of trusting the "designated claimed => subtree
+  // covered" implication — a stalled owner's earmarked partitions become
+  // claimable by any helper immediately. Idempotent, callable from any
+  // thread, and exactly-once-safe: rescue only ever wins real claim flags.
+  void request_rescue() noexcept override {
+    rescue_armed_.store(true, std::memory_order_release);
+  }
+  bool rescue_armed() const noexcept {
+    return rescue_armed_.load(std::memory_order_acquire);
+  }
+
   const core::partition_set& partitions() const noexcept { return parts_; }
+  // Mutable access so deterministic tests can pre-claim a "straggler's"
+  // partition before arming a rescue.
+  core::partition_set& partitions() noexcept { return parts_; }
 
  private:
   void execute_partition(rt::worker& w, std::uint64_t r);
 
-  // Chaos-only coverage restoration: forced claim failures (faultsim) can
-  // leave partitions unclaimed after every claim loop has exited, which
-  // the real protocol's "failure implies claimed" invariant rules out.
-  // The sweep linearly try_claims leftovers so injected faults delay
-  // execution but can never lose a partition. Returns true if it ran any.
+  // Coverage restoration: forced claim failures (faultsim) can leave
+  // partitions unclaimed after every claim loop has exited, which the
+  // real protocol's "failure implies claimed" invariant rules out; a
+  // watchdog rescue (request_rescue) deliberately asks for the same
+  // sweep to strip a stalled owner of its unclaimed earmarks. The sweep
+  // linearly try_claims leftovers so faults and stalls delay execution
+  // but can never lose a partition. Returns true if it ran any.
   bool rescue_sweep(rt::worker& w);
 
   std::shared_ptr<loop_ctx> ctx_;
   core::partition_set parts_;
+  std::atomic<bool> rescue_armed_{false};
 };
 
 }  // namespace hls::sched

@@ -144,6 +144,10 @@ std::size_t write_worker_events(chrome_trace_writer& w, registry& reg) {
     w.add_thread_name(kWorkerPid, static_cast<int>(i),
                       "worker " + std::to_string(i));
   }
+  // The registry's service lane (the health watchdog) renders just past
+  // the worker tids.
+  w.add_thread_name(kWorkerPid, static_cast<int>(reg.num_workers()),
+                    "watchdog");
 
   const std::vector<worker_event> evs = reg.drain_events();
   for (const worker_event& we : evs) {
@@ -190,6 +194,17 @@ std::size_t write_worker_events(chrome_trace_writer& w, registry& reg) {
       case event_kind::range_steal:
         w.add_instant(kWorkerPid, tid, "range-steal", e.ts_ns,
                       "\"victim\":" + i64(e.a) + ",\"iters\":" + i64(e.b));
+        break;
+      case event_kind::stall_span:
+        // Emitted on the watchdog lane: an instant mark at detection,
+        // then a complete span once the worker's heartbeat resumes.
+        if (e.dur_ns == 0) {
+          w.add_instant(kWorkerPid, tid, "stall-detected", e.ts_ns,
+                        "\"worker\":" + i64(e.a));
+        } else {
+          w.add_complete(kWorkerPid, tid, "stall w" + i64(e.a), e.ts_ns,
+                         e.dur_ns, "\"worker\":" + i64(e.a));
+        }
         break;
     }
   }

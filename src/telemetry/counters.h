@@ -47,7 +47,21 @@
   X(cancelled_chunks, "chunks skipped by cancellation/deadline/drain")   \
   X(exceptions_caught, "exceptions captured at task/chunk boundaries")   \
   X(faults_injected, "faults injected by the chaos layer (faultsim)")    \
-  X(deadline_expirations, "loops stopped by an expired deadline")
+  X(deadline_expirations, "loops stopped by an expired deadline")        \
+  X(stalls_detected, "workers the watchdog classified as stalled "       \
+                     "(healthy->stalled transitions)")                    \
+  X(watchdog_wakes, "helper unparks issued by the watchdog on a "        \
+                    "stalled-owner rescue")                               \
+  X(earmarks_rescued, "earmarked partitions claimed by a rescue sweep "  \
+                      "instead of their designated owner")                \
+  X(steal_backoffs, "bounded exponential-backoff naps taken after "      \
+                    "repeated failed steal/range-probe rounds")           \
+  X(degraded_workers, "workers lost to thread-spawn failure at runtime " \
+                      "construction (team shrank)")                       \
+  X(alloc_fallbacks, "subtask-pool exhaustions degraded to bounded "     \
+                     "serial-chunk execution")                            \
+  X(gated_loops, "parallel_for submissions serialized by the "           \
+                 "admission gate (in-flight limit reached)")
 
 #define HLS_TELEMETRY_MAX_COUNTERS(X)                                    \
   X(max_claim_seq_len, "longest claim sequence: max consecutive failed " \

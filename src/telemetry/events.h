@@ -32,6 +32,10 @@ enum class event_kind : std::uint8_t {
   claim_fail,      // failed hybrid claim              a=r        b=index
   steal,           // successful deque steal           a=victim   b=probes
   range_steal,     // successful range-slot steal      a=victim   b=iters
+  stall_span,      // one watchdog-observed stall      a=worker   b=0
+                   //   dur_ns=0: instant mark at detection time;
+                   //   dur_ns>0: the completed stall, emitted when the
+                   //   worker's heartbeat resumes (watchdog lane)
 };
 
 struct event {

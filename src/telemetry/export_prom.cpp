@@ -171,8 +171,8 @@ void write_profiles_jsonl(std::ostream& os, const registry& reg,
          << ",\"grain\":" << r.grain << ",\"workers\":" << r.workers
          << ",\"iterations\":" << r.iterations
          << ",\"status\":" << static_cast<int>(r.status)
-         << ",\"skipped\":" << r.skipped << ",\"serial_degrade\":"
-         << (r.serial_degrade ? "true" : "false")
+         << ",\"skipped\":" << r.skipped << ",\"degrade\":\""
+         << degrade_reason_name(r.degrade) << "\""
          << ",\"wall_ns\":" << r.wall_ns << ",\"setup_ns\":" << r.setup_ns
          << ",\"work_ns\":" << r.work_ns << ",\"drain_ns\":" << r.drain_ns
          << ",\"imbalance\":" << fmt_double(r.imbalance)

@@ -5,6 +5,15 @@
 
 namespace hls::telemetry {
 
+const char* degrade_reason_name(degrade_reason r) noexcept {
+  switch (r) {
+    case degrade_reason::none: return "none";
+    case degrade_reason::foreign_thread: return "foreign_thread";
+    case degrade_reason::admission_gate: return "admission_gate";
+  }
+  return "?";
+}
+
 std::string loop_site::key() const {
   const char* f = file != nullptr ? file : "?";
   // Basename only: the full build-tree path adds noise and makes keys
@@ -101,7 +110,7 @@ void invocation_probe::commit(const loop_site* site, const char* label,
                               policy pol, std::uint32_t partitions,
                               std::int64_t grain, std::int64_t iterations,
                               std::uint8_t status, std::int64_t skipped,
-                              bool serial_degrade) {
+                              degrade_reason degrade) {
   if (prof_ == nullptr) return;
   const std::uint64_t t_end = reg_.now();
 
@@ -114,7 +123,7 @@ void invocation_probe::commit(const loop_site* site, const char* label,
   rec.iterations = iterations;
   rec.status = status;
   rec.skipped = skipped;
-  rec.serial_degrade = serial_degrade;
+  rec.degrade = degrade;
   rec.wall_ns = t_end - t_entry_;
   rec.setup_ns = t_setup_ != 0 ? t_setup_ - t_entry_ : 0;
   rec.work_ns = t_work_ != 0 && t_setup_ != 0 ? t_work_ - t_setup_ : 0;

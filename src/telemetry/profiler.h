@@ -60,6 +60,18 @@ struct loop_site {
     return &hls_site_;                                                      \
   }())
 
+// Why an invocation ran serially instead of on the scheduler it asked
+// for. Distinct reasons matter operationally: foreign_thread is a caller
+// bug (or an accepted embedding cost), admission_gate is backpressure —
+// the runtime shedding load past its in-flight loop limit.
+enum class degrade_reason : std::uint8_t {
+  none = 0,            // ran on the requested policy
+  foreign_thread = 1,  // caller not bound to the runtime (run_serial_foreign)
+  admission_gate = 2,  // max_inflight_loops reached; serialized for backpressure
+};
+
+const char* degrade_reason_name(degrade_reason r) noexcept;
+
 // One completed parallel_for invocation.
 struct invocation_record {
   std::uint64_t seq = 0;       // global invocation number (profiler-wide)
@@ -73,10 +85,10 @@ struct invocation_record {
   std::int64_t iterations = 0;   // N
   std::uint8_t status = 0;       // loop_status numeric value
   std::int64_t skipped = 0;
-  // True when the loop degraded to serial execution on a thread not bound
-  // to the runtime (run_serial_foreign) — these invocations used to vanish
-  // from every profile.
-  bool serial_degrade = false;
+  // Why (and whether) the loop degraded to serial execution; see
+  // degrade_reason. Degraded invocations used to vanish from every
+  // profile.
+  degrade_reason degrade = degrade_reason::none;
 
   // Wall-time phase breakdown on the posting thread, nanoseconds:
   //   setup_ns  loop entry -> record constructed / span published
@@ -185,7 +197,7 @@ class invocation_probe {
   void commit(const loop_site* site, const char* label, policy pol,
               std::uint32_t partitions, std::int64_t grain,
               std::int64_t iterations, std::uint8_t status,
-              std::int64_t skipped, bool serial_degrade);
+              std::int64_t skipped, degrade_reason degrade);
 
  private:
   registry& reg_;

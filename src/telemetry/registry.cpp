@@ -51,8 +51,9 @@ std::vector<event> event_ring::snapshot() const {
 registry::registry(std::uint32_t num_workers)
     : num_workers_(num_workers == 0 ? 1 : num_workers),
       epoch_ns_(steady_now_ns()),
-      states_(new worker_state[num_workers_]) {
-  for (std::uint32_t w = 0; w < num_workers_; ++w) {
+      // One state per worker plus the service lane (see service()).
+      states_(new worker_state[num_workers_ + 1]) {
+  for (std::uint32_t w = 0; w <= num_workers_; ++w) {
     states_[w].owner_ = this;
     states_[w].epoch_ns_ = epoch_ns_;
     states_[w].id_ = w;
@@ -66,8 +67,8 @@ void registry::enable_events(std::size_t ring_capacity) {
   {
     hls::scoped_lock<annotated_mutex> lk(setup_mu_);
     if (rings_.empty()) {
-      rings_.reserve(num_workers_);
-      for (std::uint32_t w = 0; w < num_workers_; ++w) {
+      rings_.reserve(num_workers_ + 1);
+      for (std::uint32_t w = 0; w <= num_workers_; ++w) {  // + service lane
         rings_.push_back(std::make_unique<event_ring>(ring_capacity));
         // Publish the ring before the flag: the release store below pairs
         // with the acquire load in events_enabled().
@@ -86,7 +87,7 @@ void registry::disable_events() noexcept {
 
 std::vector<worker_event> registry::collect_events() const {
   std::vector<worker_event> all;
-  for (std::uint32_t w = 0; w < num_workers_; ++w) {
+  for (std::uint32_t w = 0; w <= num_workers_; ++w) {  // + service lane
     if (const event_ring* r =
             states_[w].ring_.load(std::memory_order_acquire)) {
       for (const event& e : r->snapshot()) all.push_back({w, e});
@@ -101,7 +102,7 @@ std::vector<worker_event> registry::collect_events() const {
 
 std::vector<worker_event> registry::drain_events() {
   std::vector<worker_event> all = collect_events();
-  for (std::uint32_t w = 0; w < num_workers_; ++w) {
+  for (std::uint32_t w = 0; w <= num_workers_; ++w) {  // + service lane
     if (event_ring* r = states_[w].ring_.load(std::memory_order_acquire)) {
       r->clear();
     }

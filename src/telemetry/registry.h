@@ -137,13 +137,24 @@ class registry {
   worker_state& of(std::uint32_t w) noexcept { return states_[w]; }
   const worker_state& of(std::uint32_t w) const noexcept { return states_[w]; }
 
+  // The service lane: one extra worker_state owned by the runtime's
+  // service threads (today: the health watchdog). It follows the same
+  // single-writer rule as a worker lane — only one service thread may
+  // bump it — and its id is num_workers() (the trace exporter names that
+  // tid "watchdog"). Included in totals()/events but not in of_worker's
+  // 0..num_workers()-1 range.
+  worker_state& service() noexcept { return states_[num_workers_]; }
+  const worker_state& service() const noexcept {
+    return states_[num_workers_];
+  }
+
   std::uint64_t now() const noexcept { return steady_now_ns() - epoch_ns_; }
   std::uint64_t epoch_ns() const noexcept { return epoch_ns_; }
 
   // ---- counters: consistent snapshot / delta API --------------------
   counter_set totals() const noexcept {
     counter_set t;
-    for (std::uint32_t w = 0; w < num_workers_; ++w) {
+    for (std::uint32_t w = 0; w <= num_workers_; ++w) {  // + service lane
       t += states_[w].counters.snapshot();
     }
     return t;
@@ -219,7 +230,7 @@ class registry {
  private:
   histogram_snapshot merged(pow2_histogram worker_state::* h) const noexcept {
     histogram_snapshot s;
-    for (std::uint32_t w = 0; w < num_workers_; ++w) {
+    for (std::uint32_t w = 0; w <= num_workers_; ++w) {  // + service lane
       s += (states_[w].*h).snapshot();
     }
     return s;

@@ -53,13 +53,18 @@ void print_counters(std::ostream& os, const registry& reg,
   for (std::uint32_t w = 0; w < reg.num_workers(); ++w) {
     header.push_back("w" + std::to_string(w));
   }
+  // The registry's service lane (watchdog counters: stalls_detected,
+  // watchdog_wakes) gets its own column so those bumps are attributable
+  // and the total column still equals registry::totals().
+  header.push_back("svc");
   table t(std::move(header));
 
   std::vector<counter_set> per_worker;
-  per_worker.reserve(reg.num_workers());
+  per_worker.reserve(reg.num_workers() + 1);
   for (std::uint32_t w = 0; w < reg.num_workers(); ++w) {
     per_worker.push_back(reg.of_worker(w));
   }
+  per_worker.push_back(reg.service().counters.snapshot());
   counter_set total;
   for (const counter_set& s : per_worker) total += s;
 

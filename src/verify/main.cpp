@@ -49,6 +49,14 @@ const model_spec kSpecs[] = {
     {"parking-broken-norecheck",
      "parking with the post-announce re-check skipped (lost wakeup)", true,
      3},
+    {"parking-backoff",
+     "backoff_park nap: done-only re-check + retire broadcast, no lost "
+     "completion edge",
+     false, 3},
+    {"parking-backoff-broken-nobroadcast",
+     "backoff nap with the retire unpark_all omitted (sleeps past "
+     "completion)",
+     true, 3},
 };
 
 std::unique_ptr<model> make(const std::string& name, const hls::cli& args) {
@@ -66,6 +74,9 @@ std::unique_ptr<model> make(const std::string& name, const hls::cli& args) {
   if (name == "parking") return hls::verify::make_parking_model(false);
   if (name == "parking-broken-norecheck")
     return hls::verify::make_parking_model(true);
+  if (name == "parking-backoff") return hls::verify::make_backoff_model(false);
+  if (name == "parking-backoff-broken-nobroadcast")
+    return hls::verify::make_backoff_model(true);
   return nullptr;
 }
 

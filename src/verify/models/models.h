@@ -57,4 +57,11 @@ std::unique_ptr<model> make_range_slot_model(bool broken_no_drain);
 // classic lost-wakeup (caught as a deadlock).
 std::unique_ptr<model> make_parking_model(bool broken_skip_recheck);
 
+// Steal-backoff nap over parking_lot_core (runtime::backoff_park): the
+// consumer re-checks only the completion edge after prepare_park, and
+// liveness comes from the retire-time unpark_all broadcast.
+// broken_no_broadcast omits that broadcast, leaving the nap to lean on
+// the (harness-disabled) backstop timeout — caught as a deadlock.
+std::unique_ptr<model> make_backoff_model(bool broken_no_broadcast);
+
 }  // namespace hls::verify

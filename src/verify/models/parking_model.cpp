@@ -88,10 +88,98 @@ class parking_model final : public model {
   std::unique_ptr<state> st_;
 };
 
+// Verification model for the steal-backoff nap (runtime::backoff_park):
+// a thief that keeps losing work races naps with a DELIBERATELY weaker
+// protocol than idle_park — after prepare_park it re-checks only the
+// completion edge (done), NOT work visibility, before parking. That is
+// sound because the backoff nap's job is to damp spinning, not to
+// guarantee prompt work pickup: a work wake lost while napping costs at
+// most one bounded timeout. What must NOT be lossy is the completion
+// edge, or work_until would sleep past loop retirement. The liveness
+// argument is the retire broadcast: whoever completes the loop sets done
+// and then unparks ALL waiters, and because the consumer re-checks done
+// after announcing itself (prepare_park), either it sees done and cancels
+// or the broadcast finds it announced. The harness's untimed condvars
+// make this sharp — a protocol leaning on the backstop timeout deadlocks
+// here instead. The broken variant omits the post-done broadcast, and
+// the interleaving where the consumer parks just before done is set then
+// sleeps forever is reported as a deadlock.
+class backoff_model final : public model {
+  using lot_t = rt::parking_lot_core<verify_traits>;
+
+  struct state {
+    lot_t lot{1};
+    hls::verify::atomic<std::uint32_t> items{0};
+    hls::verify::atomic<std::uint32_t> done{0};
+    std::uint32_t taken = 0;
+    bool consumer_done = false;
+  };
+
+ public:
+  explicit backoff_model(bool no_broadcast) : no_broadcast_(no_broadcast) {}
+
+  const char* name() const override {
+    return no_broadcast_ ? "parking-backoff-broken-nobroadcast"
+                         : "parking-backoff";
+  }
+  int threads() const override { return 2; }
+
+  void setup() override { st_ = std::make_unique<state>(); }
+
+  void run(int t) override {
+    state& s = *st_;
+    if (t == 1) {
+      // The rest of the team: publish work with its (targeted, losable)
+      // wake, then retire the loop — done edge plus the broadcast every
+      // completion path must send (notify_all in the real runtime).
+      s.items.fetch_add(1, std::memory_order_seq_cst);
+      s.lot.unpark_one();
+      s.done.store(1, std::memory_order_seq_cst);
+      if (!no_broadcast_) s.lot.unpark_all();
+      return;
+    }
+
+    // Consumer (slot 0): a thief on the backoff ladder. Each round it
+    // tries to acquire work; on failure it naps via the backoff protocol.
+    while (s.done.load(std::memory_order_seq_cst) == 0) {
+      if (s.items.load(std::memory_order_seq_cst) > s.taken) {
+        ++s.taken;
+        continue;
+      }
+      const std::uint32_t ticket = s.lot.prepare_park(0);
+      // backoff_park's re-check: completion edge only, never work
+      // visibility (see runtime.h).
+      if (s.done.load(std::memory_order_seq_cst) != 0) {
+        s.lot.cancel_park(0);
+        break;
+      }
+      const auto res = s.lot.park(0, ticket, std::chrono::milliseconds(1));
+      check(res.reason != lot_t::wake_reason::timeout,
+            "backoff nap resolved to a backstop timeout under the harness "
+            "(the completion broadcast is missing)");
+    }
+    s.consumer_done = true;
+  }
+
+  void check_final() override {
+    check(st_->consumer_done, "consumer did not finish");
+    check(st_->taken <= 1, "item consumed more than once");
+    check(st_->lot.waiters() == 0, "waiter count leaked");
+  }
+
+ private:
+  bool no_broadcast_;
+  std::unique_ptr<state> st_;
+};
+
 }  // namespace
 
 std::unique_ptr<model> make_parking_model(bool broken_skip_recheck) {
   return std::make_unique<parking_model>(broken_skip_recheck);
+}
+
+std::unique_ptr<model> make_backoff_model(bool broken_no_broadcast) {
+  return std::make_unique<backoff_model>(broken_no_broadcast);
 }
 
 }  // namespace hls::verify

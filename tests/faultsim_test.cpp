@@ -64,16 +64,22 @@ TEST(FaultsimConfig, MalformedSpecsReturnNullopt) {
   EXPECT_FALSE(config::parse("justaflag").has_value());
 }
 
-TEST(FaultsimConfig, NormalizeClampsSchedulerRatesButNotBodyThrow) {
+TEST(FaultsimConfig, NormalizeClampsSchedulerRatesButNotOneShotHooks) {
+  // body_throw, thread_spawn and alloc_fail gate one-shot fallback paths
+  // (exception propagation, team shrink, serial-chunk degrade), so a
+  // deterministic rate of 1.0 must survive normalize(); the retry-loop
+  // scheduler hooks are clamped so chaos cannot livelock a retry loop.
   config c;
   for (unsigned h = 0; h < kNumHooks; ++h) c.rate[h] = 1.0;
   c.normalize();
   for (unsigned h = 0; h < kNumHooks; ++h) {
-    if (static_cast<hook>(h) == hook::body_throw) {
-      EXPECT_DOUBLE_EQ(c.rate[h], 1.0);
+    const hook hk = static_cast<hook>(h);
+    if (hk == hook::body_throw || hk == hook::thread_spawn ||
+        hk == hook::alloc_fail) {
+      EXPECT_DOUBLE_EQ(c.rate[h], 1.0) << hook_name(hk);
     } else {
       EXPECT_DOUBLE_EQ(c.rate[h], config::kMaxSchedulerRate)
-          << hook_name(static_cast<hook>(h));
+          << hook_name(hk);
     }
   }
 }

@@ -174,7 +174,7 @@ TEST(Prometheus, ExposesCountersHistogramsSamplerAndSites) {
     invocation_probe probe(reg, &prof);
     bump(reg.of(0).counters.chunks_run, 4);
     probe.commit(nullptr, "prom_site", policy::hybrid, 2, 8, 100, 0, 0,
-                 false);
+                 degrade_reason::none);
   }
   sampler smp(reg);
   smp.start();
@@ -226,7 +226,7 @@ TEST(Prometheus, EscapesLabelValues) {
   loop_profiler prof;
   invocation_probe probe(reg, &prof);
   probe.commit(nullptr, "quo\"te\\path", policy::hybrid, 1, 8, 4, 0, 0,
-               false);
+               degrade_reason::none);
   std::ostringstream os;
   write_prometheus(os, reg, nullptr, &prof);
   EXPECT_NE(os.str().find("site=\"quo\\\"te\\\\path\""), std::string::npos)
@@ -286,13 +286,14 @@ TEST(JsonlExport, ProfilesCarryRecordsSitesAndResidualArithmetic) {
     invocation_probe probe(reg, &prof);
     bump(reg.of(1).counters.tasks_run, 2);
     bump(reg.of(1).counters.chunks_run, 1);
-    probe.commit(nullptr, "jl_a", policy::hybrid, 2, 8, 64, 0, 0, false);
+    probe.commit(nullptr, "jl_a", policy::hybrid, 2, 8, 64, 0, 0,
+                   degrade_reason::none);
   }
   {
     invocation_probe probe(reg, &prof);
     bump(reg.of(0).counters.steals, 4);
     probe.commit(nullptr, "jl_b", policy::dynamic_ws, 0, 8, 2048, 0, 0,
-                 true);
+                 degrade_reason::foreign_thread);
   }
 
   std::ostringstream os;
@@ -309,7 +310,7 @@ TEST(JsonlExport, ProfilesCarryRecordsSitesAndResidualArithmetic) {
       invocation_tasks += row.get("delta")->get("tasks_run")->as_number();
       invocation_steals += row.get("delta")->get("steals")->as_number();
       if (row.get("site")->as_string() == "jl_b") {
-        EXPECT_TRUE(row.get("serial_degrade")->as_bool());
+        EXPECT_EQ(row.get("degrade")->as_string(), "foreign_thread");
         EXPECT_EQ(row.get("policy")->as_string(), "dynamic_ws");
         EXPECT_EQ(row.get("iterations")->as_number(), 2048.0);
       }

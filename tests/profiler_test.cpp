@@ -1,7 +1,7 @@
 // Per-loop-site profiler tests: loop_site keys, bounded FIFO ring
 // eviction, per-(site, pow2-N-bucket) keying, invocation_probe delta
 // arithmetic against hand-bumped counters, and end-to-end recording on a
-// real runtime — including the foreign-thread serial_degrade path and the
+// real runtime — including the foreign-thread degrade_reason path and the
 // recorded + residual == global-snapshot accounting identity.
 #include "telemetry/profiler.h"
 
@@ -126,7 +126,8 @@ TEST(InvocationProbe, InactiveProbeIsANoOp) {
   EXPECT_FALSE(probe.active());
   probe.setup_done();
   probe.work_done();
-  probe.commit(nullptr, nullptr, policy::hybrid, 4, 8, 100, 0, 0, false);
+  probe.commit(nullptr, nullptr, policy::hybrid, 4, 8, 100, 0, 0,
+               degrade_reason::none);
 }
 
 TEST(InvocationProbe, DeltaCoversExactlyTheProbeWindow) {
@@ -142,7 +143,7 @@ TEST(InvocationProbe, DeltaCoversExactlyTheProbeWindow) {
   probe.setup_done();
   probe.work_done();
   probe.commit(nullptr, "window", policy::hybrid, 4, 16, 1 << 10, 0, 0,
-               false);
+               degrade_reason::none);
 
   const auto snaps = prof.snapshot();
   ASSERT_EQ(snaps.size(), 1u);
@@ -161,7 +162,7 @@ TEST(InvocationProbe, DeltaCoversExactlyTheProbeWindow) {
   EXPECT_EQ(r.grain, 16);
   EXPECT_EQ(r.workers, 2u);
   EXPECT_EQ(r.iterations, 1 << 10);
-  EXPECT_FALSE(r.serial_degrade);
+  EXPECT_EQ(r.degrade, degrade_reason::none);
   // With both marks set the phases tile the wall time exactly.
   EXPECT_EQ(r.setup_ns + r.work_ns + r.drain_ns, r.wall_ns);
 }
@@ -170,7 +171,8 @@ TEST(InvocationProbe, KeyFallsBackToPolicyName) {
   registry reg(1);
   loop_profiler prof;
   invocation_probe probe(reg, &prof);
-  probe.commit(nullptr, nullptr, policy::dynamic_ws, 0, 8, 32, 0, 0, false);
+  probe.commit(nullptr, nullptr, policy::dynamic_ws, 0, 8, 32, 0, 0,
+               degrade_reason::none);
   const auto snaps = prof.snapshot();
   ASSERT_EQ(snaps.size(), 1u);
   EXPECT_EQ(snaps[0].site, policy_name(policy::dynamic_ws));
@@ -182,7 +184,7 @@ TEST(InvocationProbe, SiteKeyWinsOverLabel) {
   const loop_site site{"probe.cpp", 12, "named"};
   invocation_probe probe(reg, &prof);
   probe.commit(&site, "ignored-label", policy::hybrid, 1, 8, 16, 0, 0,
-               false);
+               degrade_reason::none);
   const auto snaps = prof.snapshot();
   ASSERT_EQ(snaps.size(), 1u);
   EXPECT_EQ(snaps[0].site, "probe.cpp:12#named");
@@ -195,7 +197,8 @@ TEST(InvocationProbe, RecordedPlusResidualEqualsTotals) {
   {
     invocation_probe probe(reg, &prof);
     bump(reg.of(1).counters.tasks_run, 2);
-    probe.commit(nullptr, "a", policy::hybrid, 2, 8, 64, 0, 0, false);
+    probe.commit(nullptr, "a", policy::hybrid, 2, 8, 64, 0, 0,
+                 degrade_reason::none);
   }
   bump(reg.of(0).counters.steals, 4);  // after the window: residual
   const counter_set totals = reg.totals();
@@ -264,7 +267,7 @@ TEST(ProfilerRuntime, RecordsPerSiteAndSumsToGlobalSnapshot) {
     EXPECT_EQ(r.pol, policy::hybrid);
     EXPECT_EQ(r.iterations, 1000);
     EXPECT_EQ(r.workers, 2u);
-    EXPECT_FALSE(r.serial_degrade);
+    EXPECT_EQ(r.degrade, degrade_reason::none);
     EXPECT_GE(r.delta.chunks_run, 1u);
     EXPECT_GE(r.wall_ns, r.setup_ns + r.work_ns);
   }
@@ -312,7 +315,7 @@ TEST(ProfilerRuntime, ForeignThreadInvocationsAreFlaggedSerialDegrade) {
   EXPECT_NE(snaps[0].site.find("#foreign_loop"), std::string::npos);
   ASSERT_EQ(snaps[0].records.size(), 1u);
   const invocation_record& r = snaps[0].records[0];
-  EXPECT_TRUE(r.serial_degrade);
+  EXPECT_EQ(r.degrade, degrade_reason::foreign_thread);
   EXPECT_EQ(r.pol, policy::hybrid);  // what was asked for, not what ran
   EXPECT_EQ(r.iterations, 10);
   EXPECT_EQ(r.status, 0);

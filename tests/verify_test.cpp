@@ -62,6 +62,16 @@ TEST(VerifyParking, NoLostWakeupExhaustiveBound3) {
   EXPECT_TRUE(res.exhausted);
 }
 
+TEST(VerifyParkingBackoff, CompletionEdgeNeverLostExhaustiveBound3) {
+  // The steal-backoff nap re-checks only the completion edge after
+  // announcing itself; liveness must come from the retire broadcast, not
+  // the (harness-disabled) backstop timeout.
+  auto m = make_backoff_model(false);
+  const auto res = explore(*m, exhaustive(3));
+  EXPECT_TRUE(res.ok) << res.failure;
+  EXPECT_TRUE(res.exhausted);
+}
+
 // ---- negative: each broken variant must be caught and replayable ----------
 
 // Runs the broken model, requires a failure with a schedule, then replays
@@ -108,6 +118,15 @@ TEST(VerifyBroken, ParkingWithoutRecheckIsCaught) {
                                make_parking_model(true), 3);
   const auto res = explore(*make_parking_model(true), exhaustive(3));
   EXPECT_NE(res.failure.find("deadlock"), std::string::npos) << res.failure;
+}
+
+TEST(VerifyBroken, BackoffWithoutRetireBroadcastIsCaught) {
+  // Omitting the unpark_all after the done edge leaves the interleaving
+  // where the consumer announced and parked just before done was set with
+  // no wake at all — the nap would lean on the real-time backstop, which
+  // the harness models as a deadlock.
+  expect_caught_and_replayable(make_backoff_model(true),
+                               make_backoff_model(true), 3);
 }
 
 // ---- harness mechanics ----------------------------------------------------
