@@ -215,6 +215,34 @@ BENCHMARK(BM_SpanOverhead)
     ->Args({4, 1})
     ->Args({4, 0});
 
+// The same lazy span at huge N: 2^33 iterations — four times the old
+// packed-word span cap — published as ONE span and consumed in 2^20-sized
+// chunks. Guards the per-refill cost of the two-word reserve protocol at
+// widths the eager path could only handle via a heap task per split; the
+// counter delta asserts the loop really stayed on the zero-alloc path
+// (a silent fallback would still "pass" on time alone at this grain).
+void BM_SpanOverheadHuge(benchmark::State& state) {
+  rt::runtime rtm(static_cast<std::uint32_t>(state.range(0)));
+  constexpr std::int64_t kN = std::int64_t{1} << 33;
+  loop_options opt;
+  opt.grain = std::int64_t{1} << 20;
+  const std::uint64_t tasks_before = rtm.tel().totals().tasks_run;
+  for (auto _ : state) {
+    parallel_for(rtm, 0, kN, policy::dynamic_ws,
+                 [](std::int64_t, std::int64_t) {}, opt);
+    benchmark::ClobberMemory();
+  }
+  if (rtm.tel().totals().tasks_run != tasks_before) {
+    state.SkipWithError("huge span fell off the zero-alloc lazy path");
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_SpanOverheadHuge)
+    ->ArgNames({"p"})
+    ->Args({1})
+    ->Args({4})
+    ->Name("BM_SpanOverhead/huge");
+
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): the repo's bench convention is a

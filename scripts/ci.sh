@@ -22,7 +22,7 @@ fi
 ctest --test-dir build --output-on-failure
 
 # Deterministic model checking (docs/verification.md): bounded-exhaustive
-# sweeps of the four shipping protocol cores, then the three
+# sweeps of the shipping protocol cores, then the six
 # seeded-broken variants, whose DETECTION is the pass (hls_verify inverts
 # the exit code for models marked expect-failure). The ctest pass above
 # already ran verify_test/claim_interleaving_test; this sweep exercises
@@ -36,10 +36,14 @@ if [ "${HLS_VERIFY_DEEP:-0}" = "1" ]; then
     "--model=claim --workers=8 --partitions=32 --mode=random --iters=20000"
     "--model=deque --bound=5"
     "--model=range_slot --bound=5"
+    "--model=range_word --bound=5"
+    "--model=claim-bitmap --bound=-1"
     "--model=parking --bound=-1"
     "--model=parking-backoff --bound=4"
     "--model=deque-broken-nogenbump --bound=3"
     "--model=range_slot-broken-nodrain --bound=3"
+    "--model=range_word-broken-norecheck --bound=3"
+    "--model=claim-bitmap-broken-nonatomic --bound=3"
     "--model=parking-broken-norecheck --bound=3"
     "--model=parking-backoff-broken-nobroadcast --bound=3"
   )
@@ -49,10 +53,14 @@ else
     "--model=claim --workers=4 --partitions=8 --bound=2"
     "--model=deque --bound=3"
     "--model=range_slot --bound=3"
+    "--model=range_word --bound=3"
+    "--model=claim-bitmap --bound=3"
     "--model=parking --bound=3"
     "--model=parking-backoff --bound=3"
     "--model=deque-broken-nogenbump --bound=3"
     "--model=range_slot-broken-nodrain --bound=3"
+    "--model=range_word-broken-norecheck --bound=3"
+    "--model=claim-bitmap-broken-nonatomic --bound=3"
     "--model=parking-broken-norecheck --bound=3"
     "--model=parking-backoff-broken-nobroadcast --bound=3"
   )
@@ -104,7 +112,16 @@ names = [b["name"] for b in json.load(open("build/BENCH_rt_primitives.json"))["b
 assert any("BM_WakeLatency" in n for n in names), names
 assert any("BM_BatchSteal" in n for n in names), names
 assert any("BM_SpanOverhead" in n for n in names), names
+assert any("BM_SpanOverhead/huge" in n for n in names), names
 EOF
+
+# Huge-N smoke under a hard address-space cap: 2^33-iteration loops on the
+# lazy span path plus the N = 2^32 + 3 static-boundary case must complete
+# in O(P + N/grain) memory. The 2 GB ulimit turns any regression that
+# re-materializes O(N) state (an eager task tree, a per-iteration owner
+# map) into an allocation failure instead of an OOM-killed host.
+echo "== huge-N smoke (bounded address space)"
+( ulimit -v 2097152; build/tests/huge_n_test --gtest_brief=1 )
 
 # Fig. 1 microbench archive (JSON-lines, one record per measurement), kept
 # next to the primitives archive for cross-run comparison.

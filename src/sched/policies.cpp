@@ -1,6 +1,7 @@
 #include "sched/policies.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "core/claim.h"
 #include "faultsim/faultsim.h"
@@ -221,17 +222,6 @@ void range_span::run(rt::worker& w, const std::shared_ptr<loop_ctx>& ctx,
     ws_subtask::run_span(w, ctx, lo, hi);
     return;
   }
-  // Bisect astronomically large spans eagerly until the offsets fit the
-  // slot's packed 32-bit fields; realistic loops never enter this.
-  while (hi - lo > rt::range_slot::kMaxSpan) {
-    const std::int64_t mid = lo + (hi - lo) / 2;
-    if (ws_subtask* t = try_new_subtask(w, ctx, mid, hi)) {
-      w.push(t);
-    } else {
-      run_serial_chunks(w, ctx.get(), mid, hi);
-    }
-    hi = mid;
-  }
   if (hi - lo <= ctx->grain) {
     ctx->run_chunk(w, lo, hi);
     return;
@@ -273,7 +263,11 @@ bool static_record::participate(rt::worker& w) {
   const std::int64_t rem = n % blocks_;
   const std::int64_t extra = std::min<std::int64_t>(b, rem);
   const std::int64_t lo = ctx_->begin + static_cast<std::int64_t>(b) * base + extra;
-  const std::int64_t hi = lo + base + (b < static_cast<std::uint32_t>(rem) ? 1 : 0);
+  // The comparison must stay in int64: casting rem to uint32 truncates for
+  // N > 2^32 and mis-sizes the boundary blocks (the N = 2^32 + 3 case in
+  // huge_n_test.cpp).
+  const std::int64_t hi =
+      lo + base + (static_cast<std::int64_t>(b) < rem ? 1 : 0);
   ctx_->run_chunk(w, lo, hi);
   return true;
 }
@@ -418,8 +412,17 @@ struct chaos_claim_flags {
 
 bool hybrid_record::rescue_sweep(rt::worker& w) {
   bool worked = false;
-  for (std::uint64_t r = 0; r < parts_.count(); ++r) {
-    if (!parts_.is_claimed(r) && parts_.try_claim(r)) {
+  // Word-at-a-time sweep: one claim_block call claims every leftover in a
+  // 64-partition block (a single fetch_or in bitmap mode, preceded by a
+  // load that skips fully-claimed blocks without an RMW), so sweeping a
+  // large-R set costs O(R/64) loads instead of O(R) per-partition probes.
+  // Each won bit is an individual test_and_set transition, so exactly-once
+  // (Theorem 3) is untouched.
+  for (std::uint64_t b = 0; b < parts_.block_count(); ++b) {
+    for (std::uint64_t won = parts_.claim_block(b); won != 0;
+         won &= won - 1) {
+      const std::uint64_t r =
+          (b << 6) + static_cast<std::uint64_t>(std::countr_zero(won));
       telemetry::bump(w.tel().counters.claims_ok);
       // Every sweep-claimed partition was some owner's earmark that the
       // owner never reached — whether lost to an injected claim fault or

@@ -132,9 +132,10 @@ class ws_subtask final : public rt::task {
 // thieves split off the upper half via the slot's CAS and seed their own
 // slots recursively, so the divide-and-conquer span bound is preserved
 // while the no-steal fast path costs two shared stores per span total.
-// Falls back to ws_subtask when the loop opted out (eager_split), when the
-// slot is already busy (a nested loop inside a chunk body), or — for the
-// oversized prefix only — when the span exceeds range_slot::kMaxSpan.
+// The slot's two-word protocol carries full 64-bit spans, so even
+// billion-iteration loops stay on this zero-alloc path; the only
+// fallbacks to ws_subtask are an explicit opt-out (eager_split) and a
+// busy slot (a nested loop inside a chunk body).
 class range_span {
  public:
   static void run(rt::worker& w, const std::shared_ptr<loop_ctx>& ctx,

@@ -33,15 +33,24 @@ std::vector<chunk_rec> loop_trace::sorted_by_seq() const {
 }
 
 std::vector<std::uint32_t> loop_trace::iteration_owners(
-    std::int64_t begin, std::int64_t end) const {
-  std::vector<std::uint32_t> owners(
-      static_cast<std::size_t>(end > begin ? end - begin : 0), kNoOwner);
+    std::int64_t begin, std::int64_t end, std::int64_t stride) const {
+  if (stride < 1) stride = 1;
+  const std::int64_t span = end > begin ? end - begin : 0;
+  const std::int64_t entries = (span + stride - 1) / stride;
+  // Allocation cap: refuse (empty result) rather than materialize a
+  // multi-GB vector from a diagnostics helper; see the header.
+  if (entries > kMaxOwnerEntries) return {};
+  std::vector<std::uint32_t> owners(static_cast<std::size_t>(entries),
+                                    kNoOwner);
   const auto apply = [&](const std::vector<chunk_rec>& buf) {
     for (const auto& c : buf) {
       const std::int64_t lo = std::max(c.begin, begin);
       const std::int64_t hi = std::min(c.end, end);
-      for (std::int64_t i = lo; i < hi; ++i) {
-        owners[static_cast<std::size_t>(i - begin)] = c.worker;
+      if (lo >= hi) continue;
+      // First sampled index at or above lo, then every stride-th entry.
+      std::int64_t k = (lo - begin + stride - 1) / stride;
+      for (; begin + k * stride < hi; ++k) {
+        owners[static_cast<std::size_t>(k)] = c.worker;
       }
     }
   };

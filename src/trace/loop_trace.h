@@ -52,9 +52,20 @@ class loop_trace {
 
   // Expands chunks into a per-iteration owner map over [begin, end).
   // Iterations never executed (a bug) are left as kNoOwner.
+  //
+  // Entry k is the owner of iteration begin + k*stride (stride < 1 reads
+  // as 1), so wide loops can be sampled instead of materialized: the
+  // result has ceil((end-begin)/stride) entries. This is a diagnostics
+  // helper, and a billion-iteration span would be a multi-GB allocation —
+  // when the entry count exceeds kMaxOwnerEntries the call allocates
+  // nothing and returns an explicit EMPTY vector (distinguishable from
+  // any in-range request, which always has >= 1 entry); callers on huge
+  // loops pass a stride to sample under the cap.
   static constexpr std::uint32_t kNoOwner = ~0u;
+  static constexpr std::int64_t kMaxOwnerEntries = std::int64_t{1} << 24;
   std::vector<std::uint32_t> iteration_owners(std::int64_t begin,
-                                              std::int64_t end) const;
+                                              std::int64_t end,
+                                              std::int64_t stride = 1) const;
 
   // Total iterations recorded (sum of chunk sizes).
   std::int64_t total_iterations() const;

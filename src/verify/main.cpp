@@ -44,6 +44,18 @@ const model_spec kSpecs[] = {
     {"range_slot-broken-nodrain",
      "range_slot with close() not draining readers (use-after-reopen race)",
      true, 3},
+    {"range_word",
+     "64-bit two-word range layout: announce/re-read vs BUSY CAS/re-read",
+     false, 3},
+    {"range_word-broken-norecheck",
+     "range_word with the thief's post-CAS split re-read skipped (overlap)",
+     true, 3},
+    {"claim-bitmap",
+     "bitmap claim flags + word-at-a-time leftover sweep, exactly-once",
+     false, 3},
+    {"claim-bitmap-broken-nonatomic",
+     "bitmap sweep with a non-atomic load/store RMW (double claim)", true,
+     3},
     {"parking", "parking_lot_core: prepare/re-check/park, no lost wakeup",
      false, 3},
     {"parking-broken-norecheck",
@@ -71,6 +83,13 @@ std::unique_ptr<model> make(const std::string& name, const hls::cli& args) {
   if (name == "range_slot") return hls::verify::make_range_slot_model(false);
   if (name == "range_slot-broken-nodrain")
     return hls::verify::make_range_slot_model(true);
+  if (name == "range_word") return hls::verify::make_range_word_model(false);
+  if (name == "range_word-broken-norecheck")
+    return hls::verify::make_range_word_model(true);
+  if (name == "claim-bitmap")
+    return hls::verify::make_claim_bitmap_model(false);
+  if (name == "claim-bitmap-broken-nonatomic")
+    return hls::verify::make_claim_bitmap_model(true);
   if (name == "parking") return hls::verify::make_parking_model(false);
   if (name == "parking-broken-norecheck")
     return hls::verify::make_parking_model(true);

@@ -1,0 +1,161 @@
+// Verification model for the batched claim-flag bitmap
+// (core/partition_set.h's R >= kBitmapThreshold storage): `workers`
+// threads run the REAL run_claim_loop template over a flags adapter whose
+// bits live packed in ONE 64-bit word — mirroring the bitmap-mode
+// partition_set::try_claim orderings exactly (acq_rel fetch_or of the
+// partition's bit, acq_rel count bump on a win) — then run the
+// word-at-a-time leftover sweep mirroring partition_set::claim_block (an
+// acquire load that skips a full word, else one acq_rel fetch_or of the
+// whole valid mask whose newly-set bits are this worker's wins).
+//
+// One partition's per-bit claims permanently lie "already claimed"
+// without setting the bit (the faultsim claim_fail analog), so the claim
+// loops always leave a leftover and the sweep is load-bearing in every
+// execution. Checked:
+//   * Theorem 3 (exactly-once): every partition executed exactly once
+//     across per-bit claim-loop wins and batched sweep wins, with full
+//     coverage;
+//   * Lemma 4: each worker's max_consec_failures <= lg R + 1 even with
+//     the injected failures (the bound is structural — each failure
+//     strictly raises lsb(i) — so it must hold no matter why a claim
+//     failed);
+//   * the claimed-total count agrees with R at quiescence.
+//
+// The broken variant replaces the sweep's fetch_or with a non-atomic
+// load-then-store read-modify-write. Two workers sweeping concurrently
+// can then both observe the leftover bit clear and both "win" it — a
+// double-executed partition, caught at preemption bound <= 3.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/claim.h"
+#include "verify/models/models.h"
+#include "verify/shim.h"
+
+namespace hls::verify {
+namespace {
+
+constexpr std::uint64_t kPartitions = 8;  // one bitmap word, lg R = 3
+constexpr std::uint64_t kLiar = 5;        // per-bit claims on 5 always lie
+constexpr std::uint64_t kValidMask = (std::uint64_t{1} << kPartitions) - 1;
+constexpr std::uint32_t kWorkers = 2;
+
+class claim_bitmap_model final : public model {
+  struct state {
+    hls::verify::atomic<std::uint64_t> word{0};
+    hls::verify::atomic<std::uint64_t> claimed_total{0};
+    // Plain bookkeeping (cooperatively scheduled, so no real race): how
+    // many times each partition was executed.
+    std::vector<std::uint32_t> claim_count = std::vector<std::uint32_t>(
+        kPartitions, 0);
+  };
+
+  // claim_flags adapter mirroring bitmap-mode partition_set::try_claim,
+  // with the permanent lie on kLiar in front (reports claimed WITHOUT
+  // setting the bit, like a fired claim_fail fault).
+  struct flags_adapter {
+    state& s;
+    bool test_and_set(std::uint64_t r) noexcept {
+      if (r == kLiar) return true;
+      const std::uint64_t bit = std::uint64_t{1} << r;
+      const std::uint64_t prev =
+          s.word.fetch_or(bit, std::memory_order_acq_rel);
+      if ((prev & bit) == 0) {
+        s.claimed_total.fetch_add(1, std::memory_order_acq_rel);
+        return false;  // this call won the claim
+      }
+      return true;
+    }
+  };
+
+ public:
+  explicit claim_bitmap_model(bool broken_nonatomic)
+      : broken_(broken_nonatomic),
+        name_(broken_nonatomic ? "claim-bitmap-broken-nonatomic"
+                               : "claim-bitmap") {}
+
+  const char* name() const override { return name_; }
+  int threads() const override { return kWorkers; }
+
+  void setup() override { st_ = std::make_unique<state>(); }
+
+  void run(int t) override {
+    state& s = *st_;
+    flags_adapter fl{s};
+    const auto w = static_cast<std::uint32_t>(t);
+    const core::claim_stats st = core::run_claim_loop(
+        w, kPartitions, fl,
+        [&](std::uint64_t r, std::uint64_t /*index*/) {
+          check(r < kPartitions, "claimed partition out of range");
+          ++s.claim_count[r];
+        },
+        [](std::uint64_t, std::uint64_t, bool) {});
+    if (st.max_consec_failures > 4) {  // lg R + 1 = 4
+      fail_now("Lemma 4 violated: worker " + std::to_string(w) + " saw " +
+               std::to_string(st.max_consec_failures) +
+               " consecutive failures > lg R + 1 = 4");
+    }
+    sweep(w);
+  }
+
+  void check_final() override {
+    state& s = *st_;
+    std::uint64_t executed = 0;
+    for (std::uint64_t r = 0; r < kPartitions; ++r) {
+      if (s.claim_count[r] > 1) {
+        fail_now("Theorem 3 violated: partition " + std::to_string(r) +
+                 " executed " + std::to_string(s.claim_count[r]) + " times");
+      }
+      executed += s.claim_count[r];
+    }
+    if (executed != kPartitions) {
+      fail_now("coverage violated: " + std::to_string(executed) + " of " +
+               std::to_string(kPartitions) + " partitions executed");
+    }
+    check(s.word.raw() == kValidMask, "a partition bit was never set");
+    check(s.claimed_total.raw() == kPartitions, "claimed_total drifted");
+  }
+
+ private:
+  // The leftover sweep over the single block, mirroring
+  // partition_set::claim_block + hybrid_record::rescue_sweep.
+  void sweep(std::uint32_t /*w*/) {
+    state& s = *st_;
+    std::uint64_t won;
+    if (broken_) {
+      // BROKEN: non-atomic RMW — the load and the store are separate op
+      // points, so another worker's sweep (or per-bit claim) between them
+      // is lost and both sides think they won the same bits.
+      const std::uint64_t old = s.word.load(std::memory_order_acquire);
+      if ((old & kValidMask) == kValidMask) return;
+      s.word.store(old | kValidMask, std::memory_order_release);
+      won = kValidMask & ~old;
+    } else {
+      const std::uint64_t cur = s.word.load(std::memory_order_acquire);
+      if ((cur & kValidMask) == kValidMask) return;  // full: no RMW
+      const std::uint64_t prev =
+          s.word.fetch_or(kValidMask, std::memory_order_acq_rel);
+      won = kValidMask & ~prev;
+    }
+    for (std::uint64_t m = won; m != 0; m &= m - 1) {
+      std::uint64_t r = 0;
+      while ((m & (std::uint64_t{1} << r)) == 0) ++r;
+      s.claimed_total.fetch_add(1, std::memory_order_acq_rel);
+      ++s.claim_count[r];
+    }
+  }
+
+  bool broken_;
+  const char* name_;
+  std::unique_ptr<state> st_;
+};
+
+}  // namespace
+
+std::unique_ptr<model> make_claim_bitmap_model(bool broken_nonatomic) {
+  return std::make_unique<claim_bitmap_model>(broken_nonatomic);
+}
+
+}  // namespace hls::verify

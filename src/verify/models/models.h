@@ -52,6 +52,21 @@ std::unique_ptr<model> make_deque_model(bool broken_no_gen_bump);
 // close() drain prevents (caught as a vector-clock data race).
 std::unique_ptr<model> make_range_slot_model(bool broken_no_drain);
 
+// The 64-bit two-word range_slot layout's split/hi handshake: an owner
+// consuming one fine-grained span (announce + committed-hi re-read,
+// loss-retreat) vs a thief's tentative BUSY CAS + split re-read.
+// broken_no_recheck selects range_slot_policy_no_recheck, committing
+// steals without the Dekker split re-read (caught as a double-executed
+// iteration).
+std::unique_ptr<model> make_range_word_model(bool broken_no_recheck);
+
+// Batched claim-flag bitmap: run_claim_loop over bit-packed fetch_or
+// flags (one word, mirroring partition_set's R >= threshold storage) with
+// one permanently-lying partition, then the word-at-a-time leftover sweep
+// that restores coverage. broken_nonatomic replaces the sweep's fetch_or
+// with a load-then-store RMW (caught as a double-executed partition).
+std::unique_ptr<model> make_claim_bitmap_model(bool broken_nonatomic);
+
 // Producer/consumer over parking_lot_core. broken_skip_recheck makes the
 // consumer park without the post-prepare_park re-check, reintroducing the
 // classic lost-wakeup (caught as a deadlock).

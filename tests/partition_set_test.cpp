@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
 #include <thread>
 #include <vector>
 
@@ -151,6 +152,111 @@ TEST_P(ConcurrentClaimLoop, TheoremThreeHoldsUnderContention) {
 
 INSTANTIATE_TEST_SUITE_P(Threads, ConcurrentClaimLoop,
                          ::testing::Values(1, 2, 3, 4, 5, 7, 8));
+
+// ---- packed-bitmap storage (R >= kBitmapThreshold) -----------------------
+
+TEST(PartitionSetBitmap, StorageModeFollowsRoundedCount) {
+  // Mode selection uses the rounded (power-of-two) R, so every bitmap set
+  // is an exact multiple of one 64-bit word.
+  EXPECT_FALSE(partition_set(0, 1 << 20, 32).bitmap());
+  EXPECT_TRUE(partition_set(0, 1 << 20, 33).bitmap());   // rounds to 64
+  EXPECT_TRUE(partition_set(0, 1 << 20, 64).bitmap());
+  EXPECT_TRUE(partition_set(0, 1 << 20, 65).bitmap());   // rounds to 128
+  EXPECT_EQ(partition_set(0, 1 << 20, 64).block_count(), 1u);
+  EXPECT_EQ(partition_set(0, 1 << 20, 65).block_count(), 2u);
+  EXPECT_EQ(partition_set(0, 1 << 20, 4096).block_count(), 64u);
+  // The block API is defined for sparse sets too.
+  EXPECT_EQ(partition_set(0, 1 << 20, 8).block_count(), 1u);
+}
+
+TEST(PartitionSetBitmap, ClaimBlockWinsExactlyTheUnclaimedBits) {
+  partition_set set(0, 1 << 20, 64);
+  ASSERT_TRUE(set.bitmap());
+  EXPECT_TRUE(set.try_claim(3));
+  EXPECT_TRUE(set.try_claim(17));
+  EXPECT_TRUE(set.try_claim(63));
+  const std::uint64_t pre = (1ull << 3) | (1ull << 17) | (1ull << 63);
+  EXPECT_EQ(set.claim_block(0), ~pre);  // everything the try_claims left
+  EXPECT_EQ(set.claim_block(0), 0u);    // nothing left: the skip-load path
+  EXPECT_EQ(set.claimed_count(), 64u);
+  EXPECT_TRUE(set.all_claimed());
+}
+
+TEST(PartitionSetBitmap, NextUnclaimedSkipsFullWords) {
+  partition_set set(0, 1 << 20, 256);
+  ASSERT_EQ(set.block_count(), 4u);
+  EXPECT_EQ(set.next_unclaimed(0), 0u);
+  // Fill words 0 and 1 entirely, plus a prefix of word 2.
+  for (std::uint64_t r = 0; r < 130; ++r) EXPECT_TRUE(set.try_claim(r));
+  EXPECT_EQ(set.next_unclaimed(0), 130u);
+  EXPECT_EQ(set.next_unclaimed(130), 130u);
+  EXPECT_EQ(set.next_unclaimed(131), 131u);
+  for (std::uint64_t r = 130; r < 256; ++r) set.try_claim(r);
+  EXPECT_EQ(set.next_unclaimed(0), set.count());  // none left
+}
+
+// The batched leftover sweep under contention, mirroring the hybrid
+// runtime's shape: each worker runs the claim loop (Theorem 3 exactly-once
+// + Lemma 4 consecutive-failure bound), then sweeps every block with
+// claim_block. Coverage must hold, every partition must execute exactly
+// once, and no worker may exceed the lg R failure bound. Parameter is the
+// requested R: 64 (one word), 65 (rounds to 128, two words), 4096.
+class BitmapClaimSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BitmapClaimSweep, TheoremThreeAndLemmaFourSurviveBatchedSweep) {
+  constexpr int kThreads = 8;
+  const std::uint32_t requested = GetParam();
+  for (int trial = 0; trial < 10; ++trial) {
+    partition_set set(0, 1 << 20, requested);
+    ASSERT_TRUE(set.bitmap());
+    const std::uint64_t parts = set.count();
+    std::vector<std::atomic<int>> executed(parts);
+    for (auto& e : executed) e.store(0);
+    std::vector<claim_stats> stats(kThreads);
+
+    std::vector<std::thread> pool;
+    pool.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&set, &executed, &stats, parts, t] {
+        auto flags = set.flags();
+        stats[static_cast<std::size_t>(t)] = run_claim_loop(
+            static_cast<std::uint32_t>(t), parts, flags,
+            [&](std::uint64_t r, std::uint64_t) {
+              executed[r].fetch_add(1);
+            });
+        // Leftover sweep: whatever the claim loops left unclaimed is won
+        // bit-by-bit here, 64 partitions per RMW, racing the other
+        // sweepers. Each won bit is one test_and_set win.
+        for (std::uint64_t b = 0; b < set.block_count(); ++b) {
+          for (std::uint64_t won = set.claim_block(b); won != 0;
+               won &= won - 1) {
+            const std::uint64_t r =
+                (b << 6) +
+                static_cast<std::uint64_t>(std::countr_zero(won));
+            executed[r].fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+
+    for (std::uint64_t r = 0; r < parts; ++r) {
+      EXPECT_EQ(executed[r].load(), 1)
+          << "R=" << parts << " partition " << r;
+    }
+    EXPECT_EQ(set.claimed_count(), parts);
+    EXPECT_TRUE(set.all_claimed());
+    EXPECT_EQ(set.next_unclaimed(0), parts);
+    for (int t = 0; t < kThreads; ++t) {
+      EXPECT_LE(stats[static_cast<std::size_t>(t)].max_consec_failures,
+                set.log2_count())
+          << "R=" << parts << " worker " << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitmapClaimSweep,
+                         ::testing::Values(64u, 65u, 4096u));
 
 }  // namespace
 }  // namespace hls::core

@@ -1,16 +1,20 @@
-// The lazy range-splitting path: the range_slot protocol itself (packed
-// split/hi word, owner reserve, thief half-steal, close/drain), raw
-// concurrent exactly-once stress (owner advancing at lo vs thief CAS at
-// split — the TSAN target), the scheduler integration (dynamic_ws and
-// hybrid spans, recursive thief splitting, the eager escape hatch and the
-// nested-loop fallback), and a 200-seed chaos sweep asserting no iteration
-// is lost or duplicated with the range-steal CAS under fault injection.
+// The lazy range-splitting path: the range_slot protocol itself (two-word
+// split/hi layout with full 64-bit spans, owner reserve, thief half-steal,
+// close/drain), raw concurrent exactly-once stress (owner advancing at lo
+// vs thief CAS at split — the TSAN target), including a >2^31-iteration
+// span, the scheduler integration (dynamic_ws and hybrid spans, recursive
+// thief splitting, the eager escape hatch and the nested-loop fallback),
+// and a 200-seed chaos sweep asserting no iteration is lost or duplicated
+// with the range-steal CAS under fault injection.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "faultsim/faultsim.h"
@@ -123,6 +127,35 @@ TEST(RangeSlot, MaxSpanBoundaryOpens) {
   EXPECT_TRUE(slot.close());
 }
 
+// A span beyond the old packed-word limit (2^31) opens directly — no
+// eager-bisection prefix any more — and steals carry 64-bit offsets.
+TEST(RangeSlot, WideSpanOpensAndSteals) {
+  constexpr std::int64_t kWide = (std::int64_t{1} << 31) + 12345;
+  rt::range_slot slot;
+  ASSERT_TRUE(slot.open(&marker, &dummy_runner, 0, kWide, 1 << 20));
+  const rt::range_slot::stolen s = slot.try_steal();
+  ASSERT_TRUE(s);
+  EXPECT_EQ(s.lo, kWide / 2);
+  EXPECT_EQ(s.hi, kWide);
+  EXPECT_TRUE(slot.close());
+}
+
+// Release-build validation: a degenerate or oversized span is rejected
+// (returns false) rather than corrupting the protocol words — this must
+// hold with NDEBUG, not just as a debug assert.
+TEST(RangeSlot, OpenRejectsInvalidSpansInRelease) {
+  rt::range_slot slot;
+  EXPECT_FALSE(slot.open(&marker, &dummy_runner, 10, 10, 1));  // empty
+  EXPECT_FALSE(slot.open(&marker, &dummy_runner, 10, 9, 1));   // inverted
+  EXPECT_FALSE(
+      slot.open(&marker, &dummy_runner, 0, rt::range_slot::kMaxSpan + 1, 1));
+  EXPECT_FALSE(slot.looks_open());
+  EXPECT_FALSE(slot.owner_open());
+  // The slot is untouched by the rejections and still opens normally.
+  ASSERT_TRUE(slot.open(&marker, &dummy_runner, 0, 100, 1));
+  EXPECT_FALSE(slot.close());
+}
+
 // The satellite stress: the owner advancing at lo races thief CASes at
 // split across repeated open/close eras. Every iteration must be claimed
 // exactly once — this is the suite's ThreadSanitizer target, exercising
@@ -179,6 +212,80 @@ TEST(RangeSlot, ConcurrentSplitAdvanceExactlyOnce) {
       ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
           << "round " << round << " iteration " << i;
     }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+}
+
+// The 64-bit stress: the same owner-vs-thieves race over a span wider
+// than the old 2^31 packed-word limit, exercising the full-width offsets
+// of the two-word protocol (also a ThreadSanitizer target). Marking 2^31
+// iterations individually is infeasible, so every thread records the
+// half-open intervals it claimed; once the claimed-iteration counter
+// closes the span, the sorted intervals must tile [0, kWide) exactly —
+// any double-execution shows up as an overlap, any loss as a hole.
+TEST(RangeSlot, ConcurrentWideSpanSplitAdvanceExactlyOnce) {
+  constexpr std::int64_t kWide = (std::int64_t{1} << 31) + 98765;
+  constexpr std::int64_t kGrain = std::int64_t{1} << 16;
+  constexpr int kRounds = 5;
+  constexpr int kThieves = 3;
+
+  rt::range_slot slot;
+  std::mutex mu;
+  std::vector<std::pair<std::int64_t, std::int64_t>> intervals;
+  std::atomic<std::int64_t> claimed{0};
+  std::atomic<bool> stop{false};
+
+  // Record before counting: claimed == kWide then implies every interval
+  // is already in the vector.
+  const auto record = [&](std::int64_t lo, std::int64_t hi) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      intervals.emplace_back(lo, hi);
+    }
+    claimed.fetch_add(hi - lo, std::memory_order_acq_rel);
+  };
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        if (const rt::range_slot::stolen s = slot.try_steal()) {
+          record(s.lo, s.hi);
+        }
+      }
+    });
+  }
+
+  for (int round = 0; round < kRounds; ++round) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      intervals.clear();
+    }
+    claimed.store(0, std::memory_order_release);
+    ASSERT_TRUE(slot.open(&marker, &dummy_runner, 0, kWide, kGrain));
+    std::int64_t cur = 0;
+    for (;;) {
+      const std::int64_t res = slot.reserve(cur);
+      if (res <= cur) break;
+      record(cur, res);
+      cur = res;
+    }
+    slot.close();
+    while (claimed.load(std::memory_order_acquire) != kWide) {
+      std::this_thread::yield();
+    }
+    std::lock_guard<std::mutex> lk(mu);
+    std::sort(intervals.begin(), intervals.end());
+    std::int64_t expect = 0;
+    for (const auto& [lo, hi] : intervals) {
+      ASSERT_EQ(lo, expect) << "round " << round
+                            << (lo < expect ? ": overlap" : ": hole");
+      ASSERT_GT(hi, lo);
+      expect = hi;
+    }
+    ASSERT_EQ(expect, kWide) << "round " << round;
   }
   stop.store(true, std::memory_order_release);
   for (auto& t : thieves) t.join();

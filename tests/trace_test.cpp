@@ -61,6 +61,48 @@ TEST(LoopTrace, IterationOwnersClipsToWindow) {
   for (auto o : owners) EXPECT_EQ(o, 0u);
 }
 
+TEST(LoopTrace, IterationOwnersRefusesHugeSpans) {
+  loop_trace t(1);
+  t.record(0, 0, 100);
+  // A span over the cap returns an explicit empty vector instead of
+  // attempting a multi-GB allocation. No allocation happens: the refusal
+  // is decided from the requested bounds alone.
+  const std::int64_t huge = std::int64_t{1} << 33;
+  EXPECT_TRUE(t.iteration_owners(0, huge).empty());
+  EXPECT_TRUE(t.iteration_owners(0, loop_trace::kMaxOwnerEntries + 1).empty());
+  // Exactly at the cap would be allowed (entry count == cap), and any
+  // in-range request yields >= 1 entry, so empty is unambiguous.
+  ASSERT_EQ(t.iteration_owners(0, 100).size(), 100u);
+}
+
+TEST(LoopTrace, IterationOwnersStrideSamples) {
+  loop_trace t(2);
+  t.record(0, 0, 10);
+  t.record(1, 10, 20);
+  // stride=4 over [0,20): entries sample iterations 0,4,8,12,16.
+  const auto owners = t.iteration_owners(0, 20, 4);
+  ASSERT_EQ(owners.size(), 5u);
+  EXPECT_EQ(owners[0], 0u);
+  EXPECT_EQ(owners[1], 0u);
+  EXPECT_EQ(owners[2], 0u);
+  EXPECT_EQ(owners[3], 1u);
+  EXPECT_EQ(owners[4], 1u);
+  // A chunk that covers no sampled iteration leaves its entries alone.
+  loop_trace s(1);
+  s.record(0, 1, 3);  // iterations 1,2 — never sampled by stride 4
+  const auto sparse = s.iteration_owners(0, 8, 4);
+  ASSERT_EQ(sparse.size(), 2u);
+  EXPECT_EQ(sparse[0], loop_trace::kNoOwner);
+  EXPECT_EQ(sparse[1], loop_trace::kNoOwner);
+  // Striding brings a huge span back under the cap.
+  const std::int64_t huge = std::int64_t{1} << 33;
+  loop_trace h(1);
+  h.record(0, 0, huge);
+  const auto sampled = h.iteration_owners(0, huge, huge >> 10);
+  ASSERT_EQ(sampled.size(), 1024u);
+  for (auto o : sampled) EXPECT_EQ(o, 0u);
+}
+
 TEST(LoopTrace, ClearResets) {
   loop_trace t(2);
   t.record(0, 0, 10);

@@ -1,9 +1,10 @@
-// The verification suite: bounded-exhaustive model checks of the four
-// shipping protocol cores (claim, ws_deque, range_slot, parking) against
-// the exact templates the runtime instantiates, plus the negative half of
-// the argument — three deliberately-broken protocol variants that the
-// harness must catch, each with a replayable failing schedule. A harness
-// that cannot detect a reintroduced bug proves nothing by passing.
+// The verification suite: bounded-exhaustive model checks of the shipping
+// protocol cores (claim + bitmap claim flags, ws_deque, range_slot's
+// two-word 64-bit layout, parking) against the exact templates the
+// runtime instantiates, plus the negative half of the argument — the
+// deliberately-broken protocol variants that the harness must catch, each
+// with a replayable failing schedule. A harness that cannot detect a
+// reintroduced bug proves nothing by passing.
 //
 // Depth policy: these run in the default ctest pass, so bounds are chosen
 // to finish in well under a minute total. ci.sh's HLS_VERIFY_DEEP=1 sweep
@@ -51,6 +52,26 @@ TEST(VerifyDeque, ExactlyOnceExhaustiveBound3) {
 TEST(VerifyRangeSlot, ExactlyOnceAcrossReopenExhaustiveBound3) {
   auto m = make_range_slot_model(false);
   const auto res = explore(*m, exhaustive(3));
+  EXPECT_TRUE(res.ok) << res.failure;
+  EXPECT_TRUE(res.exhausted);
+}
+
+TEST(VerifyRangeWord, SplitHiHandshakeExactlyOnceExhaustiveBound3) {
+  // The 64-bit two-word layout's announce/re-read vs tentative-CAS/re-read
+  // handshake: exactly-once across owner reserves (including the
+  // loss-retreat) and thief steals (including the abort path).
+  auto m = make_range_word_model(false);
+  const auto res = explore(*m, exhaustive(3));
+  EXPECT_TRUE(res.ok) << res.failure;
+  EXPECT_TRUE(res.exhausted);
+}
+
+TEST(VerifyClaimBitmap, BatchedSweepExactlyOnceExhaustiveUnbounded) {
+  // Bit-packed claim flags + the word-at-a-time leftover sweep; the space
+  // is small enough to exhaust unbounded, so this is a full proof (modulo
+  // the harness's SC exploration).
+  auto m = make_claim_bitmap_model(false);
+  const auto res = explore(*m, exhaustive(-1));
   EXPECT_TRUE(res.ok) << res.failure;
   EXPECT_TRUE(res.exhausted);
 }
@@ -108,6 +129,22 @@ TEST(VerifyBroken, RangeSlotCloseWithoutDrainIsCaught) {
   // flagged by the vector-clock checker as a data race.
   expect_caught_and_replayable(make_range_slot_model(true),
                                make_range_slot_model(true), 3);
+}
+
+TEST(VerifyBroken, RangeWordStealWithoutRecheckIsCaught) {
+  // Committing the thief's tentative hi CAS without the Dekker split
+  // re-read lets a steal land after the owner reserved through the
+  // midpoint — a double-executed iteration.
+  expect_caught_and_replayable(make_range_word_model(true),
+                               make_range_word_model(true), 3);
+}
+
+TEST(VerifyBroken, ClaimBitmapNonAtomicSweepIsCaught) {
+  // A load-then-store sweep RMW loses concurrent claims between the two
+  // op points: both sweepers win the same leftover bit and the partition
+  // double-executes.
+  expect_caught_and_replayable(make_claim_bitmap_model(true),
+                               make_claim_bitmap_model(true), 3);
 }
 
 TEST(VerifyBroken, ParkingWithoutRecheckIsCaught) {
