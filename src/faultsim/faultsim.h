@@ -65,6 +65,10 @@ enum class hook : unsigned {
                  // shrinking the team (graceful-degradation path)
   alloc_fail,    // pooled subtask allocation reports exhaustion; the span
                  // degrades to bounded serial-chunk execution
+  handoff_drop,  // donor publishes a handoff payload but drops both the
+                 // targeted wake and the reclaim — the payload is
+                 // stranded in the mailbox until a steal-round poach or
+                 // the shutdown sweep rescues it (exactly-once must hold)
   count_,
 };
 inline constexpr unsigned kNumHooks = static_cast<unsigned>(hook::count_);

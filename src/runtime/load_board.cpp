@@ -1,0 +1,42 @@
+#include "runtime/load_board.h"
+
+namespace hls::rt {
+
+namespace {
+
+// Integer log2 floor; 0 maps to 0. Keeps the span contribution to a score
+// logarithmic — one steal halves a span regardless of its width.
+std::uint64_t log2_floor(std::uint64_t v) noexcept {
+  std::uint64_t r = 0;
+  while (v >>= 1) ++r;
+  return r;
+}
+
+}  // namespace
+
+load_board::load_board(std::uint32_t num_workers)
+    : n_(num_workers == 0 ? 1 : num_workers), e_(new entry[n_]) {}
+
+std::uint64_t load_board::score(std::uint32_t w) const noexcept {
+  const std::uint64_t d = deque_depth(w);
+  const std::uint64_t s = span_width(w);
+  // Each queued task weighs a full migration unit; a span contributes one
+  // unit for being open plus log2(width) for its headroom.
+  return d * 4 + (s == 0 ? 0 : 1 + log2_floor(s));
+}
+
+std::uint32_t load_board::busiest(std::uint32_t self) const noexcept {
+  std::uint32_t best = n_;
+  std::uint64_t best_score = 0;
+  for (std::uint32_t w = 0; w < n_; ++w) {
+    if (w == self) continue;
+    const std::uint64_t sc = score(w);
+    if (sc > best_score) {
+      best_score = sc;
+      best = w;
+    }
+  }
+  return best;
+}
+
+}  // namespace hls::rt

@@ -1,0 +1,79 @@
+// Per-worker load advertisement: a cacheline-striped board of "how much
+// work do I have right now" hints feeding victim selection and the
+// push-handoff donor path.
+//
+// Each worker owns one padded entry and publishes two numbers with plain
+// relaxed stores at its work boundaries: its deque depth (after push /
+// pop / a thief-visible batch steal is *not* republished — see below) and
+// the width of its currently open range-slot span (at open, each reserve
+// refill, and close). Readers — idle workers picking a steal victim, and
+// donors sizing up whether pushing is worthwhile — scan with relaxed
+// loads.
+//
+// Ordering contract (the full table lives in docs/runtime.md): the board
+// is *strictly advisory*. No acquire/release edge pairs with its stores;
+// a reader acting on an entry always follows up with the authoritative
+// protocol op (deque steal CAS, range-slot steal transaction, handoff
+// try_take), whose own ordering decides the race. Stale entries therefore
+// cost at most a wasted probe — exactly what a random probe costs today —
+// and owner-only publication keeps each entry's cacheline in its owner's
+// cache except when scanned. Thieves do not write back a victim's entry
+// after stealing from it (cross-thread stores would bounce the line);
+// the owner's next boundary refreshes it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "util/cacheline.h"
+
+namespace hls::rt {
+
+class load_board {
+ public:
+  explicit load_board(std::uint32_t num_workers);
+
+  load_board(const load_board&) = delete;
+  load_board& operator=(const load_board&) = delete;
+
+  std::uint32_t size() const noexcept { return n_; }
+
+  // Owner-side publication (relaxed; advisory — see header comment).
+  void publish_deque(std::uint32_t w, std::uint64_t depth) noexcept {
+    e_[w].deque_depth.store(depth, std::memory_order_relaxed);
+  }
+  void publish_span(std::uint32_t w, std::uint64_t width) noexcept {
+    e_[w].span_width.store(width, std::memory_order_relaxed);
+  }
+
+  // Reader-side hints.
+  std::uint64_t deque_depth(std::uint32_t w) const noexcept {
+    return e_[w].deque_depth.load(std::memory_order_relaxed);
+  }
+  std::uint64_t span_width(std::uint32_t w) const noexcept {
+    return e_[w].span_width.load(std::memory_order_relaxed);
+  }
+
+  // Advertised load score of worker w: weighs queued tasks (each a whole
+  // chunk of work, worth migrating individually) above span width (one
+  // steal halves it no matter how wide, so extra width adds only
+  // logarithmic value).
+  std::uint64_t score(std::uint32_t w) const noexcept;
+
+  // The most-loaded advertised worker other than `self`, or size() when
+  // every entry reads empty. One relaxed load pair per worker; callers
+  // fall back to random probing on a miss.
+  std::uint32_t busiest(std::uint32_t self) const noexcept;
+
+ private:
+  struct alignas(kCacheLine) entry {
+    std::atomic<std::uint64_t> deque_depth{0};
+    std::atomic<std::uint64_t> span_width{0};
+  };
+
+  std::uint32_t n_;
+  std::unique_ptr<entry[]> e_;
+};
+
+}  // namespace hls::rt

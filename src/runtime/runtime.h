@@ -18,6 +18,8 @@
 #include <string>
 
 #include "runtime/board.h"
+#include "runtime/handoff.h"
+#include "runtime/load_board.h"
 #include "runtime/parking.h"
 #include "runtime/worker.h"
 #include "telemetry/registry.h"
@@ -66,6 +68,14 @@ struct runtime_options {
   // backpressure) instead of posting to the board. 0 = unlimited.
   std::uint32_t max_inflight_loops = 0;
 
+  // Push-based work handoff (docs/runtime.md "Push-based handoff"): when
+  // true, a worker publishing fresh work while peers are parked pre-splits
+  // a range / pops a surplus task into the target's handoff mailbox before
+  // the targeted wake, so the woken worker starts executing with zero
+  // steal probes. Off restores the pure pull (probe) wake path — kept as
+  // an A/B knob for the handoff-vs-probe benches.
+  bool work_handoff = true;
+
   // Chaos spec (faultsim/faultsim.h). "" = fall back to the HLS_CHAOS
   // environment variable; a non-empty spec must parse or the runtime
   // constructor throws.
@@ -81,8 +91,9 @@ struct runtime_options {
   void validate() const;
 
   // Parses --workers, --park-backstop-us, --progress-budget-us,
-  // --watchdog=0|1, --max-inflight-loops, --chaos. Unset flags keep the
-  // defaults above (num_workers falls back to hardware_concurrency).
+  // --watchdog=0|1, --work-handoff=0|1, --max-inflight-loops, --chaos.
+  // Unset flags keep the defaults above (num_workers falls back to
+  // hardware_concurrency).
   static runtime_options from_cli(const cli& c);
 };
 
@@ -213,6 +224,22 @@ class runtime {
   // The parking subsystem (exposed for tests and diagnostics).
   parking_lot& parking() noexcept { return parking_; }
 
+  // ---- push-based work handoff (docs/runtime.md) --------------------
+  // Worker w's handoff mailbox: deposited into by donors (worker::
+  // donate_* / sched's donate-on-open), consumed by the owner's
+  // try_progress, poached by steal rounds, reclaimed by a donor whose
+  // targeted wake failed.
+  handoff_slot& handoff_of(std::uint32_t w) noexcept { return handoff_[w]; }
+  const handoff_slot& handoff_of(std::uint32_t w) const noexcept {
+    return handoff_[w];
+  }
+  bool handoff_enabled() const noexcept { return opt_.work_handoff; }
+
+  // The per-worker load board (advisory deque-depth / span-width hints
+  // feeding victim selection and the donor path).
+  load_board& loads() noexcept { return loads_; }
+  const load_board& loads() const noexcept { return loads_; }
+
   bool stopping() const noexcept {
     return stop_.load(std::memory_order_acquire);
   }
@@ -255,6 +282,8 @@ class runtime {
   runtime_options opt_;      // validated copy
   telemetry::registry tel_;  // before workers_: workers reference slots
   parking_lot parking_;
+  load_board loads_;
+  std::unique_ptr<handoff_slot[]> handoff_;  // one mailbox per worker
   std::vector<std::unique_ptr<worker>> workers_;
   std::vector<std::thread> threads_;
   board board_;

@@ -9,6 +9,7 @@
 #include <atomic>
 
 #include "runtime/deque.h"
+#include "runtime/handoff.h"
 #include "runtime/parking.h"
 #include "runtime/range_slot.h"
 #include "runtime/task_pool.h"
@@ -62,9 +63,41 @@ class worker {
   // Executes t and deletes it.
   void run(task* t);
 
-  // One scheduling step: local pop, board visit, or one round of steal
-  // attempts. Returns true if progress was made.
+  // One scheduling step: handoff mailbox, local pop, board visit, or one
+  // round of steal attempts. Returns true if progress was made.
   bool try_progress();
+
+  // ---- push-based work handoff (docs/runtime.md) --------------------
+  // Consumes this worker's own handoff mailbox, if full: runs the payload
+  // (a pre-split range or a surplus task) and adopts the donor as the
+  // victim-affinity hint — the worker that had surplus to push is the most
+  // likely next steal target. Checked FIRST in try_progress, so a woken
+  // worker executes its delivered work with zero steal probes.
+  bool try_consume_handoff();
+
+  // Poach/drain variant: consumes worker v's mailbox from this worker.
+  // Steal rounds use it to rescue a stranded deposit (failed wake the
+  // donor lost the reclaim race for, or a chaos-dropped wake); the
+  // shutdown path uses it to sweep every mailbox.
+  bool try_consume_handoff_from(std::uint32_t v);
+
+  // Donor side. donate_range pre-splits half of this worker's own open
+  // range slot (the exact thief protocol, so the Corollary-6 span bound
+  // is untouched) into a parked peer's mailbox and issues the targeted
+  // wake; called by the sched layer right after it opens a span.
+  // donate_surplus_task does the same with one task popped off the local
+  // deque (deep-push and batch-steal-surplus sites). Both return true
+  // when the payload was delivered (wake sent, or a racing consumer took
+  // it) — no further notify needed; false means nothing was handed off
+  // (no waiter, mailbox busy, pre-split failed, or the deposit was
+  // reclaimed) and the caller must fall back to notify_work().
+  bool donate_range();
+  bool donate_surplus_task();
+
+  // Owner-side load-board publication (relaxed, advisory): current deque
+  // depth, and the width of the currently open span (0 on close).
+  void advertise_deque() noexcept;
+  void advertise_span(std::uint64_t width) noexcept;
 
   // Drains and executes the local deque until it is empty. Used by the
   // hybrid loop to finish a claimed partition depth-first before the next
@@ -129,12 +162,24 @@ class worker {
   static constexpr int kMaxBackoffLevel = 7;  // 2us << 7 = 256us cap input
 
   // One round of steal attempts: affinity probes first (last successful
-  // victim, then the board's poster hint), then random victims. Successful
-  // probes use batched stealing (ws_deque::steal_batch).
+  // victim, then the board's poster hint), then the load board's
+  // most-loaded advertisement, then random victims. Successful probes use
+  // batched stealing (ws_deque::steal_batch).
   bool try_steal_round();
+
+  // Handoff donor plumbing (worker.cpp): target selection + mailbox claim,
+  // and the wake-or-reclaim tail shared by both donate paths.
+  handoff_slot* claim_handoff_target(std::uint32_t* target_out);
+  bool deliver_or_reclaim(handoff_slot& box, std::uint32_t target,
+                          std::int64_t iters, handoff_item* back);
 
   // "No remembered victim" sentinel for last_victim_.
   static constexpr std::uint32_t kNoVictim = 0xffffffffu;
+
+  // Deque depth at which a push prefers handing the task to a parked peer
+  // over a bare wake: below it the local backlog is small enough that the
+  // woken worker's steal probe lands anyway.
+  static constexpr std::uint32_t kHandoffDepth = 4;
 
   runtime& rt_;
   std::uint32_t id_;

@@ -188,6 +188,7 @@ void range_span::owner_loop(rt::worker& w, loop_ctx* ctx, std::int64_t lo) {
   // freed. Note the final reserve() only fails once the stealable region
   // is empty, so no thief can split the span after its last chunk retires.
   const bool split = slot.close();
+  w.advertise_span(0);
   telemetry::worker_state& tel = w.tel();
   telemetry::bump(tel.counters.range_splits, refills);
   if (!split) telemetry::bump(tel.counters.spans_unsplit);
@@ -211,7 +212,11 @@ void range_span::run_stolen(rt::worker& w, void* ctx_raw, std::int64_t lo,
     }
     return;
   }
-  w.rt().notify_work();  // the new span's upper half is stealable
+  // The new span's upper half is stealable: advertise it, and when a peer
+  // is parked, push half of it straight into that peer's handoff mailbox
+  // so the wake carries work (donate-on-open, docs/runtime.md).
+  w.advertise_span(static_cast<std::uint64_t>(hi - lo));
+  if (!w.donate_range()) w.rt().notify_work();
   owner_loop(w, ctx, lo);
 }
 
@@ -234,8 +239,12 @@ void range_span::run(rt::worker& w, const std::shared_ptr<loop_ctx>& ctx,
     return;
   }
   // Unlike the eager path (where every push wakes a thief), the span is
-  // the only published unit of work — advertise it once.
-  w.rt().notify_work();
+  // the only published unit of work — advertise it once. With a parked
+  // peer, the wake itself carries the span's upper half (donate-on-open,
+  // docs/runtime.md "Push-based handoff"); otherwise fall back to the
+  // bare targeted wake and let the woken worker probe.
+  w.advertise_span(static_cast<std::uint64_t>(hi - lo));
+  if (!w.donate_range()) w.rt().notify_work();
   owner_loop(w, ctx.get(), lo);
 }
 

@@ -61,7 +61,15 @@
   X(alloc_fallbacks, "subtask-pool exhaustions degraded to bounded "     \
                      "serial-chunk execution")                            \
   X(gated_loops, "parallel_for submissions serialized by the "           \
-                 "admission gate (in-flight limit reached)")
+                 "admission gate (in-flight limit reached)")              \
+  X(handoffs_sent, "work handoffs deposited and signalled (targeted "    \
+                   "wake carrying a pre-split range or surplus task)")    \
+  X(handoffs_consumed, "handoff payloads taken from this worker's own "  \
+                       "mailbox or poached from a peer's")                \
+  X(handoffs_reclaimed, "deposits taken back by the donor after a "      \
+                        "failed targeted wake (waiter vanished)")         \
+  X(load_board_hits, "steals won on the load board's busiest-worker "    \
+                     "advertisement")
 
 #define HLS_TELEMETRY_MAX_COUNTERS(X)                                    \
   X(max_claim_seq_len, "longest claim sequence: max consecutive failed " \

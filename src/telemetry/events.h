@@ -36,6 +36,9 @@ enum class event_kind : std::uint8_t {
                    //   dur_ns=0: instant mark at detection time;
                    //   dur_ns>0: the completed stall, emitted when the
                    //   worker's heartbeat resumes (watchdog lane)
+  handoff,         // push-based work handoff sent     a=target   b=iters
+                   //   emitted by the donor at the targeted wake (b=0
+                   //   for a task payload); rendered on the wake track
 };
 
 struct event {

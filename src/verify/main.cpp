@@ -69,6 +69,14 @@ const model_spec kSpecs[] = {
      "backoff nap with the retire unpark_all omitted (sleeps past "
      "completion)",
      true, 3},
+    {"handoff",
+     "push-based handoff: deposit/unpark_at vs consume/poach/reclaim, "
+     "exactly-once + no lost work",
+     false, 3},
+    {"handoff-broken-dropped",
+     "handoff dropped on a failed wake with every rescue removed (lost "
+     "work)",
+     true, 3},
 };
 
 std::unique_ptr<model> make(const std::string& name, const hls::cli& args) {
@@ -96,6 +104,9 @@ std::unique_ptr<model> make(const std::string& name, const hls::cli& args) {
   if (name == "parking-backoff") return hls::verify::make_backoff_model(false);
   if (name == "parking-backoff-broken-nobroadcast")
     return hls::verify::make_backoff_model(true);
+  if (name == "handoff") return hls::verify::make_handoff_model(false);
+  if (name == "handoff-broken-dropped")
+    return hls::verify::make_handoff_model(true);
   return nullptr;
 }
 

@@ -1,0 +1,176 @@
+// Verification model for the push-based work handoff (runtime/
+// handoff_core.h + parking_core::unpark_at): a donor deposits a pre-split
+// range into an idle peer's mailbox and issues the targeted wake that
+// carries it, per docs/runtime.md "Push-based handoff":
+//
+//   donor:    try_claim -> publish -> unpark_at(target)
+//             on failed wake: try_take reclaim (run it yourself)
+//   consumer: try_take first; else prepare_park -> re-check
+//             (mailbox full OR loop finished) -> cancel_park / park
+//   poacher:  a thief's steal-round sweep: try_take until finished
+//
+// The model treats the payload as iterations of an open loop: the donor
+// spins until they are executed before it retires the loop (finished +
+// unpark_all), so *lost work is a detected deadlock*, not a silent
+// under-count. Checked across every interleaving: the payload executes
+// exactly once (the kFull -> kClaimed CAS arbitrates the owner's consume,
+// the poach, and the donor's reclaim), no park leans on the backstop
+// timeout, and the mailbox and waiter count end empty — Theorem-3
+// exactly-once and the no-lost-wakeup discipline survive the new wake
+// edge. pick_waiter is advisory (a miss only costs a fallback to
+// notify_work) and is not modeled; unpark_at's authoritative locked check
+// is what the safety story rests on, and it is exercised here.
+//
+// The broken variant ("handoff-broken-dropped") models a dropped handoff
+// with every rescue layer removed: the donor skips the reclaim after a
+// failed targeted wake, the consumer's pre-park re-check omits the
+// mailbox term, and there is no poacher. The interleaving where the wake
+// fires before the consumer announces itself then strands the payload
+// forever — the donor spins on work that nobody can see and the consumer
+// parks with nobody left to wake it. The harness reports the lost work as
+// a deadlock with a replayable schedule.
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "runtime/handoff_core.h"
+#include "runtime/parking_core.h"
+#include "verify/models/models.h"
+#include "verify/shim.h"
+
+namespace hls::verify {
+namespace {
+
+class handoff_model final : public model {
+  using lot_t = rt::parking_lot_core<verify_traits>;
+
+  struct payload {
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+  };
+  using slot_t = rt::handoff_slot_core<payload, verify_traits>;
+
+  struct state {
+    lot_t lot{1};  // the consumer parks on slot 0
+    slot_t box;
+    hls::verify::atomic<std::uint32_t> executed{0};
+    hls::verify::atomic<std::uint32_t> finished{0};
+    bool consumer_done = false;
+  };
+
+ public:
+  explicit handoff_model(bool broken_dropped) : broken_(broken_dropped) {}
+
+  const char* name() const override {
+    return broken_ ? "handoff-broken-dropped" : "handoff";
+  }
+  // donor + consumer (+ poacher in the sound protocol; the broken variant
+  // removes the poach rescue along with the reclaim and the re-check
+  // term, which is exactly what makes the drop a lost-work bug).
+  int threads() const override { return broken_ ? 2 : 3; }
+
+  void setup() override { st_ = std::make_unique<state>(); }
+
+  void run(int t) override {
+    state& s = *st_;
+    if (t == 1) {
+      donor(s);
+      return;
+    }
+    if (t == 2) {
+      poacher(s);
+      return;
+    }
+    consumer(s);
+  }
+
+  void check_final() override {
+    check(st_->consumer_done, "consumer did not finish");
+    check(st_->executed.raw() == 1,
+          "handed-off payload not executed exactly once");
+    check(!st_->box.full(), "payload stranded in the mailbox");
+    check(st_->lot.waiters() == 0, "waiter count leaked");
+  }
+
+ private:
+  void donor(state& s) {
+    // Deposit-then-wake: the payload must be visible before the target
+    // can observe the wake (publish's release; unpark_at's fence).
+    check(s.box.try_claim(), "mailbox not empty at first claim");
+    s.box.publish({10, 20});
+    const bool signalled = s.lot.unpark_at(0);
+    if (!signalled && !broken_) {
+      // Shipping reclaim: the waiter vanished between pick and wake; take
+      // the deposit back and run it here. A failed take means a racing
+      // taker (consumer pre-check or poach) already owns it — equally
+      // fine, exactly one of us executes it.
+      payload back{};
+      if (s.box.try_take(back)) {
+        check(back.lo == 10 && back.hi == 20, "reclaimed payload corrupted");
+        s.executed.fetch_add(1, std::memory_order_seq_cst);
+      }
+    }
+    // The loop cannot retire while its handed-off iterations are
+    // unexecuted — lost work shows up as this spin deadlocking.
+    while (s.executed.load(std::memory_order_seq_cst) == 0) {
+      verify_traits::pause();
+    }
+    s.finished.store(1, std::memory_order_seq_cst);
+    s.lot.unpark_all();
+  }
+
+  void consumer(state& s) {
+    while (true) {
+      payload p{};
+      if (s.box.try_take(p)) {
+        check(p.lo == 10 && p.hi == 20, "consumed payload corrupted");
+        s.executed.fetch_add(1, std::memory_order_seq_cst);
+        continue;
+      }
+      if (s.finished.load(std::memory_order_seq_cst) != 0 && !s.box.full()) {
+        break;
+      }
+      const std::uint32_t ticket = s.lot.prepare_park(0);
+      // The idle re-check after announcing: the mailbox term is the
+      // handoff half of work_visible; the broken variant omits it.
+      const bool visible =
+          (!broken_ && s.box.full()) ||
+          s.finished.load(std::memory_order_seq_cst) != 0;
+      if (visible) {
+        s.lot.cancel_park(0);
+        continue;
+      }
+      const auto res = s.lot.park(0, ticket, std::chrono::milliseconds(1));
+      check(res.reason != lot_t::wake_reason::timeout,
+            "park resolved to a backstop timeout under the harness (a wake "
+            "edge is missing)");
+    }
+    s.consumer_done = true;
+  }
+
+  void poacher(state& s) {
+    // A thief's steal-round mailbox sweep: rescues a stranded deposit
+    // (e.g. a chaos-dropped wake) without waiting for anyone.
+    while (true) {
+      payload p{};
+      if (s.box.try_take(p)) {
+        check(p.lo == 10 && p.hi == 20, "poached payload corrupted");
+        s.executed.fetch_add(1, std::memory_order_seq_cst);
+        break;
+      }
+      if (s.finished.load(std::memory_order_seq_cst) != 0) break;
+      verify_traits::pause();
+    }
+  }
+
+  bool broken_;
+  std::unique_ptr<state> st_;
+};
+
+}  // namespace
+
+std::unique_ptr<model> make_handoff_model(bool broken_dropped) {
+  return std::make_unique<handoff_model>(broken_dropped);
+}
+
+}  // namespace hls::verify
