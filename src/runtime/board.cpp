@@ -11,7 +11,9 @@ int board::post(std::shared_ptr<loop_record> rec, std::uint32_t poster) {
   for (int s = 0; s < kSlots; ++s) {
     if (slots_[s].keeper == nullptr) {
       slots_[s].keeper = std::move(rec);
-      slots_[s].ptr.store(slots_[s].keeper.get());
+      // release publishes the record's fields to visitors' confirming
+      // ptr re-read (visit()/request_rescue()).
+      slots_[s].ptr.store(slots_[s].keeper.get(), std::memory_order_release);
       if (poster != kNoPoster) {
         poster_.store(poster, std::memory_order_relaxed);
       }
@@ -23,10 +25,15 @@ int board::post(std::shared_ptr<loop_record> rec, std::uint32_t poster) {
 
 void board::clear(int s) {
   if (s < 0) return;
-  slots_[s].ptr.store(nullptr);
+  // seq_cst unpublish forms the Dekker pair with visitors' seq_cst
+  // readers announce: every visitor either sees the nullptr or is seen
+  // by the drain below.  // ordlint: seq_cst because Dekker store-then-read-other (pairs with readers.fetch_add in visit/request_rescue)
+  slots_[s].ptr.store(nullptr, std::memory_order_seq_cst);
   // Wait out visitors that announced themselves before the unpublish; a
   // finished record's participate() returns promptly, so this is brief.
-  while (slots_[s].readers.load() != 0) {
+  // acquire pairs with visitors' release fetch_sub: their record use
+  // happens-before keeper.reset() once the count reads zero.
+  while (slots_[s].readers.load(std::memory_order_acquire) != 0) {
     std::this_thread::yield();
   }
   std::lock_guard<std::mutex> lk(mu_);
@@ -50,17 +57,21 @@ bool board::visit(worker& w) {
   for (int s = kSlots - 1; s >= 0; --s) {
     slot& sl = slots_[s];
     if (sl.ptr.load(std::memory_order_relaxed) == nullptr) continue;
-    sl.readers.fetch_add(1);
+    // seq_cst announce: Dekker pair with clear()'s seq_cst unpublish.
+    // ordlint: seq_cst because Dekker store-then-read-other (pairs with clear()'s ptr unpublish)
+    sl.readers.fetch_add(1, std::memory_order_seq_cst);
     // Re-read under the reader mark: either this sees the pointer still
     // published, or clear() already unpublished it (and is now waiting for
     // the reader count to drain).
-    loop_record* rec = sl.ptr.load();
+    // ordlint: seq_cst because the confirming read of the Dekker pair must not hoist above the announce
+    loop_record* rec = sl.ptr.load(std::memory_order_seq_cst);
     if (rec != nullptr && !rec->finished()) {
       telemetry::bump(w.tel().counters.loop_entries);
       worked = rec->participate(w) || worked;
       telemetry::bump(w.tel().counters.loop_leaves);
     }
-    sl.readers.fetch_sub(1);
+    // release retire pairs with clear()'s acquire drain load.
+    sl.readers.fetch_sub(1, std::memory_order_release);
   }
   return worked;
 }
@@ -69,13 +80,16 @@ void board::request_rescue() noexcept {
   for (int s = kSlots - 1; s >= 0; --s) {
     slot& sl = slots_[s];
     if (sl.ptr.load(std::memory_order_relaxed) == nullptr) continue;
-    sl.readers.fetch_add(1);
+    // ordlint: seq_cst because Dekker store-then-read-other (pairs with clear()'s ptr unpublish)
+    sl.readers.fetch_add(1, std::memory_order_seq_cst);
     // Same Dekker re-read as visit(): either the record is still
     // published here, or clear() unpublished it and now waits for the
     // reader count to drain before dropping the keeper.
-    loop_record* rec = sl.ptr.load();
+    // ordlint: seq_cst because the confirming read of the Dekker pair must not hoist above the announce
+    loop_record* rec = sl.ptr.load(std::memory_order_seq_cst);
     if (rec != nullptr && !rec->finished()) rec->request_rescue();
-    sl.readers.fetch_sub(1);
+    // release retire pairs with clear()'s acquire drain load.
+    sl.readers.fetch_sub(1, std::memory_order_release);
   }
 }
 

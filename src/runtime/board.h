@@ -101,9 +101,12 @@ class board {
 
  private:
   struct slot {
-    // seq_cst on ptr/readers gives the Dekker-style guarantee between
-    // visit's (readers++; re-read ptr) and clear's (ptr = null; read
-    // readers).
+    // Dekker pair between visit's (readers++; re-read ptr) and clear's
+    // (ptr = null; drain readers): the announce fetch_add and the
+    // unpublish store are seq_cst so the two sides cannot both miss each
+    // other; the retire fetch_sub (release) pairs with the drain load
+    // (acquire) to order record use before keeper.reset(). Full table:
+    // docs/runtime.md#board-ordering, contract: board.contract.toml.
     std::atomic<loop_record*> ptr{nullptr};
     alignas(kCacheLine) std::atomic<int> readers{0};
     std::shared_ptr<loop_record> keeper;  // guarded by mu_

@@ -64,6 +64,8 @@ class handoff_slot_core {
 
   // Donor side, step 2: write the payload and make it visible.
   void publish(const Payload& p) noexcept {
+    // Plain (Traits::var) store: the kFull release store below publishes
+    // it to the taker's acquire CAS; kClaimed excludes concurrent access.
     payload_.store(p);
     state_.store(kFull, std::memory_order_release);
   }
@@ -85,6 +87,8 @@ class handoff_slot_core {
                                         std::memory_order_relaxed)) {
       return false;
     }
+    // Plain (Traits::var) load under kClaimed ownership: the acquire CAS
+    // above synchronizes with publish()'s kFull release store.
     out = payload_.load();
     state_.store(kEmpty, std::memory_order_release);
     return true;

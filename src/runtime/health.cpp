@@ -22,6 +22,7 @@ health_watchdog::health_watchdog(runtime& rt, options opt)
   if (opt_.progress_budget < std::chrono::microseconds(10)) {
     opt_.progress_budget = std::chrono::microseconds(10);
   }
+  scanner_.hold();  // construction happens-before the service thread
   last_scan_ns_ = rt_.tel().service().now();
   if (opt_.start_thread) {
     thread_ = std::thread([this] { thread_main(); });
@@ -32,7 +33,7 @@ health_watchdog::~health_watchdog() { stop(); }
 
 void health_watchdog::stop() noexcept {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    hls::scoped_lock<hls::annotated_mutex> lk(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -45,6 +46,9 @@ worker_health health_watchdog::health_of(std::uint32_t w) const noexcept {
 }
 
 std::uint32_t health_watchdog::scan() {
+  // Single-writer discipline (header): either the service thread calls
+  // this, or no service thread was started and the test driver does.
+  scanner_.hold();
   telemetry::worker_state& svc = rt_.tel().service();
   const std::uint64_t now = svc.now();
   const std::uint64_t dt = now - last_scan_ns_;
@@ -120,15 +124,18 @@ std::uint32_t health_watchdog::scan() {
 
 void health_watchdog::thread_main() {
   // Scan at half the budget so a stall is classified within 1.5x the
-  // budget (see header); the condvar makes shutdown prompt.
+  // budget (see header); the condvar makes shutdown prompt. scan() runs
+  // outside the lock — stop() only needs the mutex for the stop_ flag.
   const auto interval = opt_.progress_budget / 2;
-  std::unique_lock<std::mutex> lk(mu_);
-  while (!stop_) {
-    cv_.wait_for(lk, interval, [&] { return stop_; });
-    if (stop_) break;
-    lk.unlock();
+  for (;;) {
+    {
+      std::unique_lock<hls::annotated_mutex> lk(mu_);
+      if (cv_.wait_for(lk, interval,
+                       [this]() HLS_REQUIRES(mu_) { return stop_; })) {
+        return;
+      }
+    }
     scan();
-    lk.lock();
   }
 }
 

@@ -40,11 +40,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_safety.h"
 
 namespace hls::rt {
 
@@ -85,7 +85,8 @@ class health_watchdog {
   // One classification pass over all active workers; returns how many are
   // currently classified stalled. The service thread calls this every
   // progress_budget / 2; callable directly only when start_thread was
-  // false (see the single-writer note above).
+  // false (see the single-writer note above — the body asserts the
+  // scanner_ role to -Wthread-safety on that basis).
   std::uint32_t scan();
 
   // Stops the service thread (idempotent; the destructor calls it).
@@ -95,21 +96,29 @@ class health_watchdog {
   void thread_main();
 
   struct lane {
+    // Bookkeeping fields below `health` are scanner_-only (the nested
+    // struct cannot name the outer capability, so the discipline is
+    // enforced at the access sites in scan()).
     std::uint64_t last_beats = 0;
     std::uint64_t silent_ns = 0;         // accumulated heartbeat silence
     std::uint64_t stall_started_ns = 0;  // service-lane clock, 0 = none
     std::atomic<worker_health> health{worker_health::healthy};
   };
 
+  // Single-writer pseudo-capability: the service thread (or, with
+  // start_thread = false, whoever drives scan() manually) is the only
+  // scanner. scan() asserts it; see util/thread_safety.h.
+  hls::thread_role scanner_;
+
   runtime& rt_;
   options opt_;
-  std::vector<lane> lanes_;
-  std::uint64_t last_scan_ns_ = 0;
+  std::vector<lane> lanes_;  // health fields cross-thread; rest scanner_-only
+  std::uint64_t last_scan_ns_ HLS_GUARDED_BY(scanner_) = 0;
   std::atomic<std::uint64_t> scans_{0};
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;  // guarded by mu_
+  hls::annotated_mutex mu_;
+  hls::annotated_condvar cv_;
+  bool stop_ HLS_GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 

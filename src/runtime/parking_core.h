@@ -137,8 +137,10 @@ class parking_lot_core {
                stop_.load(std::memory_order_relaxed);
       });
       res.waited = true;
+      // ordlint: relaxed-guard-ok post-wait classification under s.mu; publishers bump epoch/stop and notify under the same mutex
       if (stop_.load(std::memory_order_relaxed)) {
         res.reason = wake_reason::stop;
+        // ordlint: relaxed-guard-ok same mutex-held classification as the stop_ read above
       } else if (s.epoch.load(std::memory_order_relaxed) != ticket) {
         res.reason = wake_reason::notified;
       } else {

@@ -48,7 +48,10 @@ void sampler::start() {
 
 void sampler::stop() {
   {
-    std::unique_lock<annotated_mutex> lk(mu_);
+    // scoped_lock, not std::unique_lock: the latter carries no scoped
+    // capability attribute, so -Wthread-safety would not see mu_ held
+    // for the guarded running_/stop_requested_ accesses below.
+    hls::scoped_lock<annotated_mutex> lk(mu_);
     if (!running_) return;
     stop_requested_ = true;
   }

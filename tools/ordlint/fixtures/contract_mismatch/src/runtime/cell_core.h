@@ -1,0 +1,28 @@
+// Seeded-broken fixture: contract conformance. The contract sidecar
+// declares state_.store release in publish() and a drain load that no
+// longer exists, and the code grew an uncontracted atomic. Expected:
+//   error[ordlint:contract-mismatch]  (store is relaxed, contract says release)
+//   error[ordlint:contract-stale]     (drain entry matches no site)
+//   error[ordlint:contract-missing]   (extra_ not declared in the contract)
+#pragma once
+
+namespace fixture {
+
+template <class Traits>
+class cell_core {
+  template <class T>
+  using atomic_t = typename Traits::template atomic<T>;
+
+ public:
+  void publish() {
+    state_.store(1, std::memory_order_relaxed);  // contract says release
+  }
+
+  int peek() const { return state_.load(std::memory_order_acquire); }
+
+ private:
+  atomic_t<int> state_{0};
+  atomic_t<int> extra_{0};  // grew without a contract entry
+};
+
+}  // namespace fixture

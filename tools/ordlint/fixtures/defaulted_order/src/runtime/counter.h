@@ -1,0 +1,24 @@
+// Seeded-broken fixture: defaulted memory orders. Every site below must
+// trip error[ordlint:defaulted-order].
+#pragma once
+
+#include <atomic>
+
+namespace fixture {
+
+class counter {
+ public:
+  void bump() {
+    hits_.fetch_add(1);  // defaulted seq_cst RMW
+    hits_ += 1;          // operator form, also defaulted seq_cst
+  }
+
+  int read() const {
+    return hits_.load();  // defaulted seq_cst load
+  }
+
+ private:
+  std::atomic<int> hits_{0};
+};
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Seeded-broken fixture: a relaxed load guards a release-store commit
+// with no confirming re-read of the guard variable — the shape the
+// Dekker re-read pattern exists to avoid. Expected:
+//   advisory[ordlint:relaxed-guard] on the open_ load in try_publish().
+// The tagged twin in try_publish_ok() must pass.
+#pragma once
+
+#include <atomic>
+
+namespace fixture {
+
+class publisher {
+ public:
+  void try_publish(int v) {
+    if (open_.load(std::memory_order_relaxed)) {  // guard, never re-read
+      data_.store(v, std::memory_order_release);  // commit
+    }
+  }
+
+  void try_publish_ok(int v) {
+    // ordlint: relaxed-guard-ok fixture demonstrates the accepted suppression tag
+    if (open_.load(std::memory_order_relaxed)) {
+      data_.store(v, std::memory_order_release);
+    }
+  }
+
+ private:
+  std::atomic<bool> open_{false};
+  std::atomic<int> data_{0};
+};
+
+}  // namespace fixture

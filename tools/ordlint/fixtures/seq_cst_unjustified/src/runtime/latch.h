@@ -1,0 +1,25 @@
+// Seeded-broken fixture: explicit seq_cst with no justification. The
+// store below must trip error[ordlint:seq-cst-unjustified]; the load
+// carries a tag and must pass.
+#pragma once
+
+#include <atomic>
+
+namespace fixture {
+
+class latch {
+ public:
+  void open() {
+    open_.store(true, std::memory_order_seq_cst);  // no tag, no contract
+  }
+
+  bool is_open() const {
+    // ordlint: seq_cst because fixture demonstrates the accepted tag form
+    return open_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  std::atomic<bool> open_{false};
+};
+
+}  // namespace fixture

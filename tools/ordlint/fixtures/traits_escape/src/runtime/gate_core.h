@@ -1,0 +1,27 @@
+// Seeded-broken fixture: raw synchronization primitives inside a
+// *_core.h protocol header, outside any allowlisted escape scope.
+// Expected: error[ordlint:traits-escape] for the std::atomic member and
+// the std::mutex member; the allowlisted test_seam scope must pass.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+namespace fixture {
+
+// Allowlisted escape (named in gate_core.contract.toml): must NOT fire.
+struct test_seam {
+  inline static std::atomic<int> knob{0};
+};
+
+template <class Traits>
+class gate_core {
+ public:
+  void set() { raw_.store(1, std::memory_order_release); }
+
+ private:
+  std::atomic<int> raw_{0};  // escapes the Traits:: seam
+  std::mutex mu_;            // so does this
+};
+
+}  // namespace fixture
